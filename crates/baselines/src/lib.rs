@@ -1,0 +1,18 @@
+//! # cross-baselines
+//!
+//! The comparison systems of the CROSS evaluation:
+//!
+//! * [`gpu_style`] — the SoTA GPU algorithms re-implemented and replayed
+//!   on the TPU simulator: the sparse-Toeplitz high-precision multiply
+//!   (Fig. 7 left), the radix-2 Cooley–Tukey NTT with per-stage
+//!   bit-complement shuffles (§F1), and the 4-step NTT with an explicit
+//!   runtime transpose;
+//! * [`devices`] — the published latency/throughput/TDP dataset quoted
+//!   by the paper's tables (Tab. VII, VIII, IX, Fig. 5), used exactly
+//!   the way the paper uses it: numbers from the original publications;
+//! * [`cpu_profile`] — a Fig. 14-style CPU profiling harness over our
+//!   own reference CKKS kernels.
+
+pub mod cpu_profile;
+pub mod devices;
+pub mod gpu_style;

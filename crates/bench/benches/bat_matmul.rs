@@ -1,0 +1,48 @@
+//! Criterion: wall-clock cost of BAT compile/execute vs the sparse
+//! baseline and the plain high-precision oracle (host-side speed of the
+//! compiler itself, complementing Tab. V's simulated device times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cross_baselines::gpu_style::SparseMatMul;
+use cross_core::bat::matmul::{mod_matmul_reference, BatMatMul};
+
+const Q: u64 = 268_369_921;
+
+fn sample(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 2654435761 + seed) % Q).collect()
+}
+
+fn bench_bat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modmatmul");
+    for &(h, v, w) in &[(32usize, 32usize, 32usize), (64, 64, 64)] {
+        let a = sample(h * v, 3);
+        let b = sample(v * w, 5);
+        let bat = BatMatMul::compile(&a, h, v, Q, 8);
+        let sparse = SparseMatMul::compile(&a, h, v, Q, 8);
+        g.bench_with_input(BenchmarkId::new("bat_execute", h), &b, |bench, b| {
+            bench.iter(|| bat.execute_reference(b, w))
+        });
+        g.bench_with_input(BenchmarkId::new("oracle_u128", h), &b, |bench, b| {
+            bench.iter(|| mod_matmul_reference(&a, b, h, v, w, Q))
+        });
+        let mut sim = cross_tpu::TpuSim::new(cross_tpu::TpuGeneration::V6e);
+        g.bench_with_input(BenchmarkId::new("sparse_execute", h), &b, |bench, b| {
+            bench.iter(|| sparse.execute(&mut sim, b, w, cross_tpu::Category::NttMatMul))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bat_offline_compile");
+    for &(h, v) in &[(32usize, 32usize), (128, 128)] {
+        let a = sample(h * v, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(h), &a, |bench, a| {
+            bench.iter(|| BatMatMul::compile(a, h, v, Q, 8))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bat, bench_compile);
+criterion_main!(benches);

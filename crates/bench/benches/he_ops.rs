@@ -1,0 +1,35 @@
+//! Criterion: end-to-end CKKS operator wall-times at toy parameters
+//! (functional-stack performance, complementing the simulated Tab. VIII).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cross_ckks::{CkksContext, CkksParams, Evaluator};
+
+fn bench_he_ops(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::toy(), 99);
+    let kp = ctx.generate_keys();
+    let rk = ctx.generate_rotation_key(&kp.secret, 1);
+    let msg: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.1).sin())
+        .collect();
+    let ct1 = ctx.encrypt(&msg, &kp.public);
+    let ct2 = ctx.encrypt(&msg, &kp.public);
+    let ev = Evaluator::new(&ctx);
+
+    let mut g = c.benchmark_group("ckks_toy_ops");
+    g.sample_size(10);
+    g.bench_function("he_add", |b| b.iter(|| ev.add(&ct1, &ct2)));
+    g.bench_function("he_mult_relin_rescale", |b| {
+        b.iter(|| ev.mult(&ct1, &ct2, &kp.relin))
+    });
+    g.bench_function("rescale_after_pmult", |b| {
+        let pt = ctx.encode_at(&msg, ct1.level, ctx.params().scale());
+        b.iter(|| ev.rescale(&ev.mult_plain(&ct1, &pt, ctx.params().scale())))
+    });
+    g.bench_function("rotate", |b| b.iter(|| ev.rotate(&ct1, 1, &rk)));
+    g.bench_function("encrypt", |b| b.iter(|| ctx.encrypt(&msg, &kp.public)));
+    g.bench_function("decrypt", |b| b.iter(|| ctx.decrypt(&ct1, &kp.secret)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_he_ops);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: host-side throughput of the NTT engines (radix-2 CT,
+//! 4-step, MAT 3-step reference) — the CPU row of Tab. VIII ("CROSS for
+//! CPU" runs the O(N√N) layout-invariant schedule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cross_core::mat::ntt3::{Ntt3Config, Ntt3Plan};
+use cross_core::modred::ModRed;
+use cross_math::primes;
+use cross_poly::{CooleyTukeyNtt, FourStepNtt, NttEngine, NttTables};
+use std::sync::Arc;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_engines");
+    for logn in [10u32, 12] {
+        let n = 1usize << logn;
+        let q = primes::ntt_prime(28, n as u64, 0).unwrap();
+        let tables = Arc::new(NttTables::new(n, q));
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761 + 1) % q).collect();
+        let ct = CooleyTukeyNtt::new(tables.clone());
+        g.bench_with_input(BenchmarkId::new("radix2_ct", logn), &a, |b, a| {
+            b.iter(|| ct.forward(a))
+        });
+        let r = 1usize << (logn / 2);
+        let fs = FourStepNtt::new(tables.clone(), r, n / r);
+        g.bench_with_input(BenchmarkId::new("four_step", logn), &a, |b, a| {
+            b.iter(|| fs.forward(a))
+        });
+        let plan = Ntt3Plan::new(
+            tables.clone(),
+            Ntt3Config {
+                r,
+                c: n / r,
+                modred: ModRed::Montgomery,
+                embed_bitrev: true,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("mat_3step_ref", logn), &a, |b, a| {
+            b.iter(|| plan.forward_reference(a))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

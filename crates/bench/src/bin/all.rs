@@ -1,0 +1,19 @@
+//! Runs every table/figure harness in sequence (the full §V evaluation).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig5", "table5", "table6", "table7", "fig11b", "table8", "fig12", "table9", "fig13",
+        "table10", "fig14", "mnist", "helr",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    for b in bins {
+        let path = dir.join(b);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{b} failed");
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 12: latency breakdown of HE-Mult and Rotate (v6e, Set D).
+
+use cross_bench::banner;
+use cross_ckks::costs;
+use cross_ckks::params::ParamSet;
+use cross_tpu::TpuSim;
+
+fn main() {
+    banner("Fig. 12: HE-Mult / Rotate latency breakdown (one v6e TC, Set D)");
+    let params = ParamSet::D.params();
+    let l = params.limbs;
+
+    for (name, counts, keyed, paper) in [
+        (
+            "HE-Mult",
+            costs::he_mult_counts(&params, l),
+            true,
+            "paper: VecModOps 51% | INTT-MatMul 17% | Copy+Reshape 13% | BConv-MatMul 7% | NTT-MatMul 5% | TypeConv 4% | Other 3%",
+        ),
+        (
+            "Rotate",
+            costs::he_rotate_counts(&params, l),
+            true,
+            "paper: VecModOps 38% | Permutation 21% | INTT 14% | BConv 13% | Copy+Reshape 6% | NTT 5% | TypeConv 5% | Other 4%",
+        ),
+    ] {
+        let mut sim = TpuSim::new(cross_tpu::TpuGeneration::V6e);
+        let key = if keyed {
+            costs::switching_key_bytes(&params, l)
+        } else {
+            0.0
+        };
+        let rep = costs::charge_op(&mut sim, &params, &counts, key, name);
+        println!("\n{name} (latency {:.0} us):", rep.latency_us());
+        let total: f64 = rep.breakdown.iter().map(|(_, s)| s).sum();
+        for (cat, s) in &rep.breakdown {
+            println!("  {:>16}: {:>5.1}%", cat.label(), s / total * 100.0);
+        }
+        println!("  {paper}");
+    }
+    println!("\nTakeaway: both operators are VPU-bound (VecModOps largest share);");
+    println!("Rotate adds the worst-case automorphism Permutation cost.");
+}

@@ -1,0 +1,23 @@
+//! Fig. 14 (appendix): CPU-side kernel profile of HE operators —
+//! NTT/INTT dominate, motivating NTT-centric acceleration.
+
+use cross_baselines::cpu_profile;
+use cross_bench::banner;
+
+fn main() {
+    banner("Fig. 14: CPU latency profile of (CKKS) Mult & Relin kernels");
+    for (n, limbs, dnum, label) in [
+        (1usize << 12, 8usize, 3usize, "N=2^12, L=8"),
+        (1 << 13, 12, 3, "N=2^13, L=12"),
+        (1 << 14, 15, 3, "N=2^14, L=15"),
+    ] {
+        let p = cpu_profile::profile_mult_relin(n, limbs, dnum);
+        println!("\n{label}:");
+        for (k, f) in p.fractions() {
+            println!("  {:>12}: {:>5.1}%", k.label(), f * 100.0);
+        }
+        println!("  (I)NTT combined: {:.1}%", p.ntt_share() * 100.0);
+    }
+    println!("\npaper §F: NTT+INTT account for 45.1-86.3% of HE operator latency");
+    println!("on CPU (OpenFHE profile) — the motivation for NTT-first acceleration.");
+}

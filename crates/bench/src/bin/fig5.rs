@@ -1,0 +1,27 @@
+//! Fig. 5: peak INT8 efficiency (TOPs/W) of commodity accelerators —
+//! AI ASICs lead at comparable nodes.
+
+use cross_baselines::devices::FIG5_DEVICES;
+use cross_bench::banner;
+
+fn main() {
+    banner("Fig. 5: device power vs INT8 throughput (TOPs/W frontier)");
+    println!(
+        "{:>18} {:>8} {:>8} {:>8} {:>8}",
+        "device", "class", "watts", "TOPs", "TOPs/W"
+    );
+    let mut rows: Vec<_> = FIG5_DEVICES.to_vec();
+    rows.sort_by(|a, b| (b.3 / b.2).partial_cmp(&(a.3 / a.2)).unwrap());
+    for (name, class, watts, tops) in rows {
+        println!(
+            "{:>18} {:>8} {:>8.0} {:>8.0} {:>8.2}",
+            name,
+            class,
+            watts,
+            tops,
+            tops / watts
+        );
+    }
+    println!("\nTakeaway: TPU v6e sits on the efficiency frontier among practical");
+    println!("devices — the architectural headroom CROSS unlocks for HE.");
+}

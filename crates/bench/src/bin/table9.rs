@@ -1,0 +1,46 @@
+//! Table IX: packed bootstrapping latency and v6e-8 breakdown.
+
+use cross_baselines::devices::{BOOTSTRAP_BASELINES, PAPER_BOOTSTRAP_BREAKDOWN};
+use cross_bench::{banner, ratio, vm_setups};
+use cross_ckks::bootstrap;
+use cross_ckks::params::ParamSet;
+use cross_tpu::TpuSim;
+
+fn main() {
+    banner("Table IX: packed bootstrapping (Set D), latency in ms");
+    let params = ParamSet::D.params();
+    println!("{:>22} | {:>10}", "system", "ms");
+    for (name, ms) in BOOTSTRAP_BASELINES {
+        println!("{name:>22} | {ms:>10.1}   (published)");
+    }
+    let mut v6e8 = 0.0;
+    for (gen, cores, label) in vm_setups() {
+        let mut sim = TpuSim::new(gen);
+        let est = bootstrap::estimate(&mut sim, &params);
+        let amortized = est.latency_ms() / cores as f64;
+        if label == "v6e-8" {
+            v6e8 = amortized;
+        }
+        println!("{label:>22} | {amortized:>10.1}   (simulated, amortized)");
+    }
+    let cheddar = BOOTSTRAP_BASELINES[1].1;
+    let craterlake = BOOTSTRAP_BASELINES[2].1;
+    println!(
+        "\nv6e-8 vs Cheddar: {} (paper 1.5x) | vs CraterLake: {} (paper 0.2x)",
+        ratio(cheddar / v6e8),
+        ratio(craterlake / v6e8)
+    );
+
+    banner("v6e-8 bootstrapping breakdown (paper Tab. IX row)");
+    let mut sim = TpuSim::new(cross_tpu::TpuGeneration::V6e);
+    let est = bootstrap::estimate(&mut sim, &params);
+    for (cat, f) in &est.breakdown {
+        println!("{:>16}: {:>5.1}%", cat.label(), f * 100.0);
+    }
+    println!("paper:");
+    for (name, f) in PAPER_BOOTSTRAP_BREAKDOWN {
+        println!("{:>16}: {:>5.1}%", name, f * 100.0);
+    }
+    println!("\nTakeaway: automorphism permutations and VecModMul dominate, MatMuls");
+    println!("stay minor — the VPU-bound profile the paper reports.");
+}

@@ -1,0 +1,102 @@
+//! # cross-bench
+//!
+//! The harness that regenerates every table and figure of the CROSS
+//! evaluation (§V). Each binary prints the paper's published values
+//! next to this reproduction's simulated measurements, so drift in
+//! either direction is visible at a glance.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table5`  | Tab. V — BAT vs sparse baseline ModMatMul |
+//! | `table6`  | Tab. VI — BConv with/without BAT |
+//! | `table7`  | Tab. VII + Fig. 11a — NTT throughput |
+//! | `table8`  | Tab. VIII — HE-operator latency & energy efficiency |
+//! | `table9`  | Tab. IX — packed bootstrapping |
+//! | `table10` | Tab. X — radix-2 CT vs MAT NTT |
+//! | `fig5`    | Fig. 5 — device-efficiency scatter |
+//! | `fig11b`  | Fig. 11b — batch-size ablation |
+//! | `fig12`   | Fig. 12 — HE-Mult/Rotate latency breakdown |
+//! | `fig13`   | Fig. 13 — modular-reduction ablation |
+//! | `fig14`   | Fig. 14 — OpenFHE-style CPU kernel profile |
+//! | `mnist`   | §V-D — encrypted MNIST CNN estimate |
+//! | `helr`    | §V-D — encrypted logistic regression estimate |
+//! | `all`     | everything above in sequence |
+
+use cross_tpu::TpuGeneration;
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats microseconds with sensible precision.
+pub fn us(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// `(generation, tensor cores, column label)` of the TPU-VM setups the
+/// evaluation sweeps (paper Tab. IV / VII / VIII).
+pub fn vm_setups() -> Vec<(TpuGeneration, u32, &'static str)> {
+    vec![
+        (TpuGeneration::V4, 8, "v4-8"),
+        (TpuGeneration::V5e, 4, "v5e-4"),
+        (TpuGeneration::V5p, 8, "v5p-8"),
+        (TpuGeneration::V6e, 4, "v6e-4"),
+        (TpuGeneration::V6e, 8, "v6e-8"),
+    ]
+}
+
+/// The Tab. VII NTT-throughput column setups.
+pub fn ntt_setups() -> Vec<(TpuGeneration, u32, &'static str)> {
+    vec![
+        (TpuGeneration::V4, 4, "v4-4"),
+        (TpuGeneration::V5e, 4, "v5e-4"),
+        (TpuGeneration::V5p, 4, "v5p-4"),
+        (TpuGeneration::V6e, 8, "v6e-8"),
+    ]
+}
+
+/// Relative agreement check used in harness self-tests: `got` within a
+/// multiplicative `factor` band of `want`.
+pub fn within_factor(got: f64, want: f64, factor: f64) -> bool {
+    got > 0.0 && want > 0.0 && got / want <= factor && want / got <= factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ratio(1.5), "1.50x");
+        assert_eq!(us(3.456), "3.46");
+        assert_eq!(us(34.56), "34.6");
+        assert_eq!(us(345.6), "346");
+    }
+
+    #[test]
+    fn factor_band() {
+        assert!(within_factor(2.0, 3.0, 2.0));
+        assert!(!within_factor(1.0, 3.0, 2.0));
+        assert!(!within_factor(0.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn setups_cover_all_generations() {
+        let gens: std::collections::HashSet<_> =
+            vm_setups().iter().map(|(g, _, _)| format!("{g}")).collect();
+        assert_eq!(gens.len(), 4);
+    }
+}

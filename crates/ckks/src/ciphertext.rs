@@ -1,0 +1,32 @@
+//! CKKS ciphertexts.
+
+use cross_poly::rns_poly::RnsPoly;
+
+/// A level-`l` CKKS ciphertext `(c0, c1)` with tracked scale.
+///
+/// Both polynomials live in the evaluation (NTT) domain over the first
+/// `level` limbs of the modulus chain; decryption computes
+/// `m ≈ c0 + c1·s (mod Q_level)`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// Constant component.
+    pub c0: RnsPoly,
+    /// Linear component.
+    pub c1: RnsPoly,
+    /// Remaining limbs (level).
+    pub level: usize,
+    /// Current encoding scale `Δ`.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.c0.context().n()
+    }
+
+    /// Ciphertext bytes at the current level (2 polys × level × N × 4).
+    pub fn bytes(&self) -> usize {
+        2 * self.level * self.n() * 4
+    }
+}

@@ -1,0 +1,470 @@
+//! The CKKS context: moduli chains, per-level RNS contexts, key
+//! generation, encryption and decryption.
+
+use crate::ciphertext::Ciphertext;
+use crate::encoder::CkksEncoder;
+use crate::keys::{KeyPair, PublicKey, SecretKey, SwitchingKey, SwitchingKeyDigit};
+use crate::params::CkksParams;
+use cross_math::bigint::BigUint;
+use cross_math::{modops, primes};
+use cross_poly::ring::Domain;
+use cross_poly::rns_poly::{RnsContext, RnsPoly};
+use cross_poly::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+/// A fully precomputed CKKS context.
+///
+/// Holds the `Q` chain (ciphertext moduli) and `P` chain (key-switching
+/// extension moduli), RNS contexts for every level (with and without the
+/// extension), the canonical-embedding encoder and a seeded RNG.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    encoder: CkksEncoder,
+    /// `q_0 … q_{L-1}` then `p_0 … p_{k-1}`.
+    chain: Vec<u64>,
+    /// `level_ctxs[l-1]`: RNS context over `q_0..q_{l-1}`.
+    level_ctxs: Vec<Arc<RnsContext>>,
+    /// `ks_ctxs[l-1]`: RNS context over `q_0..q_{l-1} ∪ P`.
+    ks_ctxs: Vec<Arc<RnsContext>>,
+    /// `P = Π p_i`.
+    big_p: BigUint,
+    rng: Mutex<StdRng>,
+}
+
+impl CkksContext {
+    /// Builds a context (generates NTT-friendly prime chains and all
+    /// per-level tables).
+    ///
+    /// # Panics
+    /// Panics if the prime supply below `2^log2_q` is insufficient.
+    pub fn new(params: CkksParams, seed: u64) -> Self {
+        let total = params.limbs + params.special_limbs();
+        let chain = primes::ntt_prime_chain(params.log2_q, params.n as u64, total)
+            .expect("not enough NTT primes below 2^log2_q for this degree");
+        let mut level_ctxs = Vec::with_capacity(params.limbs);
+        let mut ks_ctxs = Vec::with_capacity(params.limbs);
+        for l in 1..=params.limbs {
+            let q_part = chain[..l].to_vec();
+            level_ctxs.push(Arc::new(RnsContext::new(params.n, q_part.clone())));
+            let mut ext = q_part;
+            ext.extend_from_slice(&chain[params.limbs..]);
+            ks_ctxs.push(Arc::new(RnsContext::new(params.n, ext)));
+        }
+        let big_p = BigUint::product_of(&chain[params.limbs..]);
+        Self {
+            params,
+            encoder: CkksEncoder::new(params.n),
+            chain,
+            level_ctxs,
+            ks_ctxs,
+            big_p,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Slot count `N/2`.
+    pub fn slot_count(&self) -> usize {
+        self.params.slot_count()
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &CkksEncoder {
+        &self.encoder
+    }
+
+    /// Ciphertext moduli `q_0..q_{L-1}`.
+    pub fn q_moduli(&self) -> &[u64] {
+        &self.chain[..self.params.limbs]
+    }
+
+    /// Extension moduli `p_0..p_{k-1}`.
+    pub fn p_moduli(&self) -> &[u64] {
+        &self.chain[self.params.limbs..]
+    }
+
+    /// Full chain (Q then P).
+    pub fn chain(&self) -> &[u64] {
+        &self.chain
+    }
+
+    /// `P = Π p_i`.
+    pub fn big_p(&self) -> &BigUint {
+        &self.big_p
+    }
+
+    /// RNS context for level `l` (`q_0..q_{l-1}`).
+    pub fn level_ctx(&self, l: usize) -> &Arc<RnsContext> {
+        &self.level_ctxs[l - 1]
+    }
+
+    /// RNS context for level `l` plus the extension basis.
+    pub fn ks_ctx(&self, l: usize) -> &Arc<RnsContext> {
+        &self.ks_ctxs[l - 1]
+    }
+
+    /// Limb indices of key-switching digit `j` at level `l`
+    /// (fixed-α partition of the full chain, [37]).
+    pub fn digit_range(&self, j: usize, l: usize) -> std::ops::Range<usize> {
+        let alpha = self.params.digit_limbs();
+        let start = j * alpha;
+        let end = ((j + 1) * alpha).min(l);
+        start..end.max(start)
+    }
+
+    /// Number of non-empty digits at level `l`.
+    pub fn digit_count(&self, l: usize) -> usize {
+        let alpha = self.params.digit_limbs();
+        l.div_ceil(alpha)
+    }
+
+    // ------------------------------------------------------------------
+    // Key generation
+    // ------------------------------------------------------------------
+
+    /// Generates a full key set (secret, public, relinearization).
+    pub fn generate_keys(&self) -> KeyPair {
+        let secret = self.generate_secret();
+        let public = self.generate_public(&secret);
+        let relin = self.generate_relin_key(&secret);
+        KeyPair {
+            secret,
+            public,
+            relin,
+        }
+    }
+
+    /// Samples a ternary secret.
+    pub fn generate_secret(&self) -> SecretKey {
+        let mut rng = self.rng.lock().unwrap();
+        SecretKey {
+            coeffs: sampling::ternary_signed(&mut *rng, self.params.n),
+        }
+    }
+
+    /// Public key `(b, a) = (-a·s + e, a)` over the top-level `Q` basis.
+    pub fn generate_public(&self, sk: &SecretKey) -> PublicKey {
+        let ctx = self.level_ctx(self.params.limbs).clone();
+        let mut rng = self.rng.lock().unwrap();
+        let n = self.params.n;
+        let a_limbs: Vec<Vec<u64>> = ctx
+            .moduli()
+            .iter()
+            .map(|&q| sampling::uniform_poly(&mut *rng, n, q))
+            .collect();
+        let e = sampling::gaussian_signed(&mut *rng, n, sampling::ERROR_SIGMA);
+        drop(rng);
+        let mut a = RnsPoly::from_limbs(ctx.clone(), a_limbs, Domain::Coefficient);
+        a.to_evaluation();
+        let mut s = RnsPoly::from_signed_coeffs(ctx.clone(), &sk.coeffs);
+        s.to_evaluation();
+        let mut e_poly = RnsPoly::from_signed_coeffs(ctx, &e);
+        e_poly.to_evaluation();
+        let b = a.mul_pointwise(&s).neg().add(&e_poly);
+        PublicKey { b, a }
+    }
+
+    /// Switching key from `s' = target` (signed integer coefficients,
+    /// possibly of magnitude up to `N`) to the context secret `s`.
+    pub fn generate_switching_key(&self, sk: &SecretKey, target: &[i64]) -> SwitchingKey {
+        let params = &self.params;
+        let l = params.limbs;
+        let alpha = params.digit_limbs();
+        let dnum_eff = l.div_ceil(alpha);
+        let big_q = BigUint::product_of(self.q_moduli());
+        let mut digits = Vec::with_capacity(dnum_eff);
+        for j in 0..dnum_eff {
+            let range = self.digit_range(j, l);
+            // q̃_j = Q̂_j · [Q̂_j^{-1}]_{Q_j} (≡1 mod Q_j, ≡0 elsewhere).
+            let digit_moduli = &self.q_moduli()[range.clone()];
+            let big_qj = BigUint::product_of(digit_moduli);
+            let (qhat_j, rem) = {
+                // Q̂_j = Q / Q_j via repeated word division.
+                let mut acc = big_q.clone();
+                let mut rem_total = 0u64;
+                for &m in digit_moduli {
+                    let (d, r) = acc.div_rem_u64(m);
+                    rem_total += r;
+                    acc = d;
+                }
+                (acc, rem_total)
+            };
+            debug_assert_eq!(rem, 0);
+            // [Q̂_j^{-1}] mod Q_j via CRT over the digit moduli (Garner).
+            let t_j = {
+                // lift the per-modulus inverses to an integer < Q_j
+                let residues: Vec<u64> = digit_moduli
+                    .iter()
+                    .map(|&m| modops::inv_mod(qhat_j.mod_u64(m), m).expect("coprime"))
+                    .collect();
+                cross_math::rns::RnsBasis::new(digit_moduli.to_vec()).reconstruct(&residues)
+            };
+            let _ = &big_qj;
+            // w_j = P · Q̂_j · t_j (an integer); keys store its residues.
+            let w_j = self.big_p.mul(&qhat_j).mul(&t_j);
+            digits.push(self.encrypt_key_factor(sk, target, &w_j));
+        }
+        SwitchingKey { digits }
+    }
+
+    /// Relinearization key: switching key for `s²`.
+    pub fn generate_relin_key(&self, sk: &SecretKey) -> SwitchingKey {
+        let s2 = negacyclic_square(&sk.coeffs);
+        self.generate_switching_key(sk, &s2)
+    }
+
+    /// Rotation key for `steps` slots: switching key for `σ_g(s)`,
+    /// `g = 5^steps mod 2N`.
+    pub fn generate_rotation_key(&self, sk: &SecretKey, steps: usize) -> SwitchingKey {
+        let g = self.galois_element(steps);
+        let rotated = automorphism_signed(&sk.coeffs, g);
+        self.generate_switching_key(sk, &rotated)
+    }
+
+    /// Conjugation key: switching key for `σ_{2N-1}(s)` (complex
+    /// conjugation of the slots).
+    pub fn generate_conjugation_key(&self, sk: &SecretKey) -> SwitchingKey {
+        let g = 2 * self.params.n as u64 - 1;
+        let conjugated = automorphism_signed(&sk.coeffs, g);
+        self.generate_switching_key(sk, &conjugated)
+    }
+
+    /// Galois element for a left rotation by `steps`: `5^steps mod 2N`.
+    pub fn galois_element(&self, steps: usize) -> u64 {
+        let two_n = 2 * self.params.n as u64;
+        modops::pow_mod(5, steps as u64, two_n)
+    }
+
+    /// One digit: `(b_j, a_j)` with `b_j = -a_j·s + e_j + w_j·s'` over
+    /// the full `Q·P` chain, evaluation domain.
+    fn encrypt_key_factor(
+        &self,
+        sk: &SecretKey,
+        target: &[i64],
+        w_j: &BigUint,
+    ) -> SwitchingKeyDigit {
+        let n = self.params.n;
+        let full_ctx = Arc::new(RnsContext::new(n, self.chain.clone()));
+        let mut rng = self.rng.lock().unwrap();
+        let a_limbs: Vec<Vec<u64>> = self
+            .chain
+            .iter()
+            .map(|&m| sampling::uniform_poly(&mut *rng, n, m))
+            .collect();
+        let e = sampling::gaussian_signed(&mut *rng, n, sampling::ERROR_SIGMA);
+        drop(rng);
+        let mut a = RnsPoly::from_limbs(full_ctx.clone(), a_limbs, Domain::Coefficient);
+        a.to_evaluation();
+        let mut s = RnsPoly::from_signed_coeffs(full_ctx.clone(), &sk.coeffs);
+        s.to_evaluation();
+        let mut e_poly = RnsPoly::from_signed_coeffs(full_ctx.clone(), &e);
+        e_poly.to_evaluation();
+        let mut sp = RnsPoly::from_signed_coeffs(full_ctx.clone(), target);
+        sp.to_evaluation();
+        // w_j per-modulus residues
+        let w_res: Vec<u64> = self.chain.iter().map(|&m| w_j.mod_u64(m)).collect();
+        let wsp = sp.mul_scalar_per_limb(&w_res);
+        let b = a.mul_pointwise(&s).neg().add(&e_poly).add(&wsp);
+        SwitchingKeyDigit {
+            b: b.limbs().to_vec(),
+            a: a.limbs().to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Encrypt / decrypt
+    // ------------------------------------------------------------------
+
+    /// Encodes a real message into a top-level plaintext polynomial.
+    pub fn encode(&self, msg: &[f64]) -> RnsPoly {
+        self.encode_at(msg, self.params.limbs, self.params.scale())
+    }
+
+    /// Encodes at a given level and scale.
+    pub fn encode_at(&self, msg: &[f64], level: usize, scale: f64) -> RnsPoly {
+        let coeffs = self.encoder.encode_real(msg, scale);
+        let mut p = RnsPoly::from_signed_coeffs(self.level_ctx(level).clone(), &coeffs);
+        p.to_evaluation();
+        p
+    }
+
+    /// Encrypts a real message under the public key at top level.
+    pub fn encrypt(&self, msg: &[f64], pk: &PublicKey) -> Ciphertext {
+        let m = self.encode(msg);
+        self.encrypt_plaintext(&m, pk, self.params.scale())
+    }
+
+    /// Encrypts an already-encoded plaintext.
+    pub fn encrypt_plaintext(&self, m: &RnsPoly, pk: &PublicKey, scale: f64) -> Ciphertext {
+        let ctx = self.level_ctx(self.params.limbs).clone();
+        let n = self.params.n;
+        let mut rng = self.rng.lock().unwrap();
+        let v = sampling::ternary_signed(&mut *rng, n);
+        let e0 = sampling::gaussian_signed(&mut *rng, n, sampling::ERROR_SIGMA);
+        let e1 = sampling::gaussian_signed(&mut *rng, n, sampling::ERROR_SIGMA);
+        drop(rng);
+        let mut v_poly = RnsPoly::from_signed_coeffs(ctx.clone(), &v);
+        v_poly.to_evaluation();
+        let mut e0p = RnsPoly::from_signed_coeffs(ctx.clone(), &e0);
+        e0p.to_evaluation();
+        let mut e1p = RnsPoly::from_signed_coeffs(ctx, &e1);
+        e1p.to_evaluation();
+        let c0 = pk.b.mul_pointwise(&v_poly).add(&e0p).add(m);
+        let c1 = pk.a.mul_pointwise(&v_poly).add(&e1p);
+        Ciphertext {
+            c0,
+            c1,
+            level: self.params.limbs,
+            scale,
+        }
+    }
+
+    /// Decrypts to real slot values.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<f64> {
+        let m = self.decrypt_to_poly(ct, sk);
+        let coeffs: Vec<f64> = (0..self.params.n).map(|j| m.coeff_signed_f64(j)).collect();
+        self.encoder.decode_real(&coeffs, ct.scale)
+    }
+
+    /// Raw decryption: `m = c0 + c1·s` in the coefficient domain.
+    pub fn decrypt_to_poly(&self, ct: &Ciphertext, sk: &SecretKey) -> RnsPoly {
+        let ctx = self.level_ctx(ct.level).clone();
+        let mut s = RnsPoly::from_signed_coeffs(ctx, &sk.coeffs);
+        s.to_evaluation();
+        let mut m = ct.c0.add(&ct.c1.mul_pointwise(&s));
+        m.to_coefficient();
+        m
+    }
+}
+
+/// Negacyclic square of signed coefficients over the integers.
+pub fn negacyclic_square(s: &[i64]) -> Vec<i64> {
+    let n = s.len();
+    let mut out = vec![0i64; n];
+    for i in 0..n {
+        if s[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let p = s[i] * s[j];
+            if i + j < n {
+                out[i + j] += p;
+            } else {
+                out[i + j - n] -= p;
+            }
+        }
+    }
+    out
+}
+
+/// Galois automorphism `σ_g` on signed coefficients.
+pub fn automorphism_signed(s: &[i64], g: u64) -> Vec<i64> {
+    let n = s.len();
+    let two_n = 2 * n as u64;
+    let mut out = vec![0i64; n];
+    for (j, &v) in s.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        let e = (j as u64 * (g % two_n)) % two_n;
+        if e < n as u64 {
+            out[e as usize] += v;
+        } else {
+            out[(e - n as u64) as usize] -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::toy(), 7)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let c = ctx();
+        let kp = c.generate_keys();
+        let msg: Vec<f64> = (0..c.slot_count())
+            .map(|i| (i as f64 * 0.01).cos())
+            .collect();
+        let ct = c.encrypt(&msg, &kp.public);
+        let back = c.decrypt(&ct, &kp.secret);
+        for (a, b) in msg.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let c = ctx();
+        let kp = c.generate_keys();
+        let msg = vec![1.0; c.slot_count()];
+        let ct1 = c.encrypt(&msg, &kp.public);
+        let ct2 = c.encrypt(&msg, &kp.public);
+        assert_ne!(ct1.c1.limbs()[0], ct2.c1.limbs()[0]);
+    }
+
+    #[test]
+    fn wrong_key_garbage() {
+        let c = ctx();
+        let kp = c.generate_keys();
+        let other = c.generate_secret();
+        let msg = vec![0.5; c.slot_count()];
+        let ct = c.encrypt(&msg, &kp.public);
+        let back = c.decrypt(&ct, &other);
+        // Decryption under the wrong key yields noise, not the message.
+        let err: f64 = msg
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / msg.len() as f64;
+        assert!(err > 1.0, "mean error {err} suspiciously small");
+    }
+
+    #[test]
+    fn digit_partition_covers_all_limbs() {
+        let c = ctx();
+        let l = c.params().limbs;
+        let mut covered = vec![false; l];
+        for j in 0..c.digit_count(l) {
+            for i in c.digit_range(j, l) {
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn galois_elements_multiplicative() {
+        let c = ctx();
+        let two_n = 2 * c.params().n as u64;
+        let g1 = c.galois_element(1);
+        let g2 = c.galois_element(2);
+        assert_eq!(g2, g1 * g1 % two_n);
+    }
+
+    #[test]
+    fn automorphism_signed_matches_unsigned() {
+        let s: Vec<i64> = (0..16).map(|i| (i % 3) - 1).collect();
+        let out = automorphism_signed(&s, 5);
+        // oracle via RnsPoly
+        let ctx = Arc::new(RnsContext::new(16, vec![268_369_921]));
+        let p = RnsPoly::from_signed_coeffs(ctx, &s);
+        let r = p.automorphism(5);
+        for j in 0..16 {
+            assert_eq!(r.coeff_signed_f64(j), out[j] as f64);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Shape-level TPU cost charging for HE operators (paper Tab. VIII,
+//! Fig. 12 methodology).
+//!
+//! These functions reproduce the paper's measurement setup without
+//! materializing Set-D-sized functional data: every kernel charges the
+//! exact op shapes the lowered implementation executes (BAT matmuls,
+//! VecModOps, type conversions, relayouts, permutations, HBM parameter
+//! traffic), and the roofline in [`TpuSim`] turns them into latency.
+//! The same shapes drive the functional path at small degrees, where
+//! the two are asserted to agree.
+
+use crate::params::CkksParams;
+use cross_core::modred::ModRed;
+use cross_core::plan;
+use cross_tpu::{Category, KernelReport, TpuSim};
+
+/// Chunks per 28-bit word on an 8-bit MXU.
+const K: usize = 4;
+
+/// Bytes of XLA-materialized intermediates per transformed polynomial:
+/// post-step-1 u32, two byte-chunk forms, post-step-2 u32 and the
+/// output all round-trip HBM (read+write) between unfused ops
+/// (paper §V-E; also visible as Fig. 12's Copy+Reshape share).
+fn ntt_materialize_bytes(n: usize) -> f64 {
+    (2 * (4 * n * 4 + 2 * n * K)) as f64
+}
+
+/// Charges one batch of `batch` forward/inverse NTTs at factorization
+/// `(r, c)` (the Fig. 10 row-3 mapping: BAT matmul / VPU twiddle /
+/// relayout / BAT matmul).
+pub fn charge_ntt_batch(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat: Category) {
+    let n = r * c;
+    // step 1: (KR × KR) @ (KR × C·batch) int8 matmul — the preknown-left
+    // orientation fuses the batch along the streamed column dimension.
+    sim.charge_vpu(
+        n * batch,
+        2 * K as u32,
+        Category::TypeConversion,
+        "u32->chunks",
+    );
+    sim.charge_matmul_u8(K * r, K * r, c * batch, cat);
+    sim.charge_vpu(n * batch, K as u32, Category::VecModOps, "merge");
+    sim.charge_vpu(
+        n * batch,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "mont reduce",
+    );
+    // step 2: element-wise twiddle on the VPU
+    sim.charge_vpu(
+        n * batch,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "step2 twiddle",
+    );
+    // relayout between the two batched matmul orientations
+    sim.charge_reshape((n * batch * 4) as f64, Category::CopyReshape);
+    // step 3: (R × KC) @ (KC × KC) per polynomial — XLA keeps the batch
+    // dimension of the right-multiplication as separate matmul calls,
+    // so tile padding is NOT amortized across the batch.
+    sim.charge_vpu(
+        n * batch,
+        2 * K as u32,
+        Category::TypeConversion,
+        "u32->chunks",
+    );
+    for _ in 0..batch {
+        sim.charge_matmul_u8(r, K * c, K * c, cat);
+    }
+    sim.charge_vpu(n * batch, K as u32, Category::VecModOps, "merge");
+    sim.charge_vpu(
+        n * batch,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "mont reduce",
+    );
+    // XLA no-fusion materialization of intermediates through HBM.
+    sim.charge_materialize(
+        ntt_materialize_bytes(n) * batch as f64,
+        Category::CopyReshape,
+    );
+}
+
+/// Charges the twiddle-parameter HBM load for an NTT plan at `(r, c)`.
+pub fn charge_ntt_params(sim: &mut TpuSim, r: usize, c: usize) {
+    let bytes = (K * r * K * r) + (K * c * K * c) + r * c * 4;
+    sim.dma_in(bytes as f64, "ntt twiddles");
+}
+
+/// Charges a BConv of `batch` polynomials from `l_in` to `l_out` limbs
+/// through BAT (paper Tab. VI shapes).
+pub fn charge_bconv(sim: &mut TpuSim, n: usize, l_in: usize, l_out: usize, batch: usize) {
+    let rows = n * batch;
+    sim.charge_vpu(
+        rows * l_in,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "bconv step1",
+    );
+    sim.dma_in((K * l_in * K * l_out) as f64, "bconv primes");
+    sim.charge_vpu(
+        rows * l_in,
+        2 * K as u32,
+        Category::TypeConversion,
+        "chunks",
+    );
+    sim.charge_matmul_u8(rows, K * l_in, K * l_out, Category::BconvMatMul);
+    sim.charge_vpu(rows * l_out, K as u32, Category::VecModOps, "merge");
+    sim.charge_vpu(
+        rows * l_out,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "reduce",
+    );
+}
+
+/// Charges `count` limb-wise vectorized modular multiplies of degree `n`
+/// (operands + result round-trip HBM between unfused XLA ops).
+pub fn charge_vec_mod_mul(sim: &mut TpuSim, n: usize, count: usize) {
+    sim.charge_vpu(
+        n * count,
+        ModRed::Montgomery.vpu_ops(),
+        Category::VecModOps,
+        "vecmodmul",
+    );
+    sim.charge_materialize((n * count * 12) as f64, Category::VecModOps);
+}
+
+/// Charges `count` limb-wise vectorized modular additions of degree `n`.
+pub fn charge_vec_mod_add(sim: &mut TpuSim, n: usize, count: usize) {
+    sim.charge_vpu(n * count, 2, Category::VecModOps, "vecmodadd");
+    sim.charge_materialize((n * count * 12) as f64, Category::VecModOps);
+}
+
+/// Charges the slot permutation of an automorphism over `limbs` limbs —
+/// the worst-case random gather/scatter of paper §V-C (Permutation
+/// category, run length 1).
+pub fn charge_automorphism_permutation(sim: &mut TpuSim, n: usize, limbs: usize) {
+    for _ in 0..limbs {
+        sim.charge_shuffle(n, 8, Category::Permutation);
+    }
+}
+
+/// `(R, C)` used for HE-operator kernels at degree `n` (sweep winner;
+/// §V-A sweeps {(128,512),(256,256),(512,128)} for Set D).
+pub fn he_rc(n: usize) -> (usize, usize) {
+    // Balanced-to-wide factorization: prefer R=256 when possible.
+    for r in [256usize, 128, 512, 64, 32, 16, 8] {
+        if r <= n && n % r == 0 && n / r >= 2 {
+            return (r, n / r);
+        }
+    }
+    plan::standalone_ntt_rc(n)
+}
+
+/// Kernel-count summary of one HE operator (drives the bootstrapping
+/// estimator of Tab. IX and workload estimates of §V-D).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// Forward NTT limb-transforms.
+    pub ntt: usize,
+    /// Inverse NTT limb-transforms.
+    pub intt: usize,
+    /// BConv limb-conversions (counted as source-limb matmuls).
+    pub bconv: usize,
+    /// Vectorized modular multiplies (limb×degree units).
+    pub vec_mod_mul: usize,
+    /// Vectorized modular adds.
+    pub vec_mod_add: usize,
+    /// Automorphism slot permutations (limb units).
+    pub automorphism: usize,
+}
+
+/// HE-Mult kernel counts at level `l` (tensor, hybrid KS, rescale).
+pub fn he_mult_counts(params: &CkksParams, l: usize) -> OpCounts {
+    let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
+    let alpha = params.digit_limbs();
+    let k = params.special_limbs();
+    let ext = l + k;
+    OpCounts {
+        // KS: INTT of d2 (l) ; rescale: 1 INTT per poly (2).
+        intt: l + 2 + k,
+        // KS: NTT of extended digits; rescale: (l-1) NTTs per poly.
+        ntt: dnum * (ext - alpha.min(l)) + 2 * (l - 1),
+        bconv: dnum * alpha.min(l) + k,
+        // tensor (4l) + KS inner products (2·dnum·ext) + moddown (2l) + rescale (2l)
+        vec_mod_mul: 4 * l + 2 * dnum * ext + 2 * l + 2 * l,
+        vec_mod_add: l + 2 * dnum * ext + 2 * l + 2 * l,
+        automorphism: 0,
+    }
+}
+
+/// HE-Rotate kernel counts at level `l`.
+pub fn he_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
+    let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
+    let alpha = params.digit_limbs();
+    let k = params.special_limbs();
+    let ext = l + k;
+    OpCounts {
+        intt: l + k,
+        ntt: dnum * (ext - alpha.min(l)) + l,
+        bconv: dnum * alpha.min(l) + k,
+        vec_mod_mul: 2 * dnum * ext + 2 * l,
+        vec_mod_add: 2 * dnum * ext + l,
+        automorphism: 2 * l,
+    }
+}
+
+/// HE-Rescale kernel counts at level `l`.
+pub fn he_rescale_counts(_params: &CkksParams, l: usize) -> OpCounts {
+    OpCounts {
+        intt: 2,
+        ntt: 2 * (l - 1),
+        bconv: 0,
+        vec_mod_mul: 2 * l,
+        vec_mod_add: 2 * l,
+        automorphism: 0,
+    }
+}
+
+/// HE-Add kernel counts at level `l`.
+pub fn he_add_counts(_params: &CkksParams, l: usize) -> OpCounts {
+    OpCounts {
+        vec_mod_add: 2 * l,
+        ..OpCounts::default()
+    }
+}
+
+/// Charges an [`OpCounts`] bundle onto the simulator as one kernel and
+/// returns its report. `key_bytes` models the switching-key HBM traffic.
+pub fn charge_op(
+    sim: &mut TpuSim,
+    params: &CkksParams,
+    counts: &OpCounts,
+    key_bytes: f64,
+    name: &str,
+) -> KernelReport {
+    let n = params.n;
+    let (r, c) = he_rc(n);
+    sim.begin_kernel(name);
+    if key_bytes > 0.0 {
+        sim.dma_in(key_bytes, "switching key");
+    }
+    if counts.ntt > 0 {
+        charge_ntt_params(sim, r, c);
+        charge_ntt_batch(sim, r, c, counts.ntt, Category::NttMatMul);
+    }
+    if counts.intt > 0 {
+        charge_ntt_batch(sim, r, c, counts.intt, Category::InttMatMul);
+    }
+    if counts.bconv > 0 {
+        // modeled as one fused (N, K·bconv, K·bconv)-scale conversion
+        charge_bconv(sim, n, counts.bconv, counts.bconv, 1);
+    }
+    charge_vec_mod_mul(sim, n, counts.vec_mod_mul);
+    charge_vec_mod_add(sim, n, counts.vec_mod_add);
+    if counts.automorphism > 0 {
+        charge_automorphism_permutation(sim, n, counts.automorphism);
+    }
+    // working set: ciphertext + key digits resident
+    sim.spill_check((params.ciphertext_bytes() * 3) as f64 + key_bytes, 1);
+    sim.end_kernel()
+}
+
+/// Switching-key bytes at level `l` (dnum digits × 2 polys × (l+k) limbs).
+pub fn switching_key_bytes(params: &CkksParams, l: usize) -> f64 {
+    let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
+    (dnum * 2 * (l + params.special_limbs()) * params.n * 4) as f64
+}
+
+/// Convenience: simulated latency (seconds) of the four backbone HE
+/// operators at top level on one tensor core.
+pub fn backbone_latencies(sim: &mut TpuSim, params: &CkksParams) -> [(String, KernelReport); 4] {
+    let l = params.limbs;
+    let add = charge_op(sim, params, &he_add_counts(params, l), 0.0, "HE-Add");
+    let mult = charge_op(
+        sim,
+        params,
+        &he_mult_counts(params, l),
+        switching_key_bytes(params, l),
+        "HE-Mult",
+    );
+    let rescale = charge_op(sim, params, &he_rescale_counts(params, l), 0.0, "Rescale");
+    let rotate = charge_op(
+        sim,
+        params,
+        &he_rotate_counts(params, l),
+        switching_key_bytes(params, l),
+        "Rotate",
+    );
+    [
+        ("HE-Add".into(), add),
+        ("HE-Mult".into(), mult),
+        ("Rescale".into(), rescale),
+        ("Rotate".into(), rotate),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use cross_tpu::TpuGeneration;
+
+    #[test]
+    fn mult_dominates_add() {
+        let p = ParamSet::D.params();
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let lat = backbone_latencies(&mut sim, &p);
+        let add = lat[0].1.latency_s;
+        let mult = lat[1].1.latency_s;
+        assert!(mult > 20.0 * add, "mult {mult} vs add {add}");
+    }
+
+    #[test]
+    fn rotate_has_permutation_cost() {
+        let p = ParamSet::D.params();
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let counts = he_rotate_counts(&p, p.limbs);
+        let rep = charge_op(
+            &mut sim,
+            &p,
+            &counts,
+            switching_key_bytes(&p, p.limbs),
+            "rot",
+        );
+        let perm: f64 = rep
+            .breakdown
+            .iter()
+            .filter(|(c, _)| *c == Category::Permutation)
+            .map(|(_, s)| *s)
+            .sum();
+        assert!(perm > 0.0);
+    }
+
+    #[test]
+    fn vecmodops_dominate_he_mult() {
+        // Fig. 12: HE-Mult is VPU-bound (~51 % VecModOps, matmuls ~25 %).
+        let p = ParamSet::D.params();
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let counts = he_mult_counts(&p, p.limbs);
+        let rep = charge_op(&mut sim, &p, &counts, switching_key_bytes(&p, p.limbs), "m");
+        let total: f64 = rep.breakdown.iter().map(|(_, s)| s).sum();
+        let vec: f64 = rep
+            .breakdown
+            .iter()
+            .filter(|(c, _)| *c == Category::VecModOps)
+            .map(|(_, s)| *s)
+            .sum();
+        let mxu: f64 = rep
+            .breakdown
+            .iter()
+            .filter(|(c, _)| c.is_mxu())
+            .map(|(_, s)| *s)
+            .sum();
+        assert!(vec / total > 0.3, "VecModOps share {}", vec / total);
+        assert!(vec > mxu, "VPU-bound: vec {vec} vs mxu {mxu}");
+    }
+
+    #[test]
+    fn latency_grows_with_limbs() {
+        let mut last = 0.0;
+        for set in [ParamSet::A, ParamSet::B, ParamSet::C, ParamSet::D] {
+            let p = set.params();
+            let mut sim = TpuSim::new(TpuGeneration::V6e);
+            let counts = he_mult_counts(&p, p.limbs);
+            let rep = charge_op(&mut sim, &p, &counts, switching_key_bytes(&p, p.limbs), "m");
+            assert!(rep.latency_s > last, "{}", set.name());
+            last = rep.latency_s;
+        }
+    }
+
+    #[test]
+    fn generations_order_for_he_mult() {
+        // Newer generations should be faster for the same op.
+        let p = ParamSet::C.params();
+        let mut lat = Vec::new();
+        for gen in [TpuGeneration::V4, TpuGeneration::V5p, TpuGeneration::V6e] {
+            let mut sim = TpuSim::new(gen);
+            let counts = he_mult_counts(&p, p.limbs);
+            lat.push(
+                charge_op(&mut sim, &p, &counts, switching_key_bytes(&p, p.limbs), "m").latency_s,
+            );
+        }
+        assert!(lat[0] > lat[2], "v4 {} vs v6e {}", lat[0], lat[2]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Homomorphic evaluation: the four backbone HE operators of the paper
+//! (HE-Add, HE-Mult, Rescale, Rotate) plus hybrid key switching.
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::keys::SwitchingKey;
+use cross_core::bconv::BconvKernel;
+use cross_core::modred::ModRed;
+use cross_math::modops;
+use cross_math::rns::RnsBasis;
+use cross_poly::ring::Domain;
+use cross_poly::rns_poly::RnsPoly;
+
+/// Homomorphic operator implementations over a [`CkksContext`].
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    ctx: &'a CkksContext,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Binds an evaluator to a context.
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        Self { ctx }
+    }
+
+    /// Drops ciphertext limbs down to `level` (plain modulus reduction;
+    /// scale is unchanged).
+    pub fn mod_drop(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level >= 1 && level <= ct.level, "cannot raise levels");
+        if level == ct.level {
+            return ct.clone();
+        }
+        let mut c0 = ct.c0.clone();
+        let mut c1 = ct.c1.clone();
+        for l in (level..ct.level).rev() {
+            let new_ctx = self.ctx.level_ctx(l).clone();
+            c0 = c0.drop_last_limb(new_ctx.clone());
+            c1 = c1.drop_last_limb(new_ctx);
+        }
+        Ciphertext {
+            c0,
+            c1,
+            level,
+            scale: ct.scale,
+        }
+    }
+
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let level = a.level.min(b.level);
+        (self.mod_drop(a, level), self.mod_drop(b, level))
+    }
+
+    /// HE-Add.
+    ///
+    /// # Panics
+    /// Panics if scales diverge by more than 1 % (mismatched scales
+    /// silently corrupt CKKS messages; sub-percent drift from unequal
+    /// rescale moduli is the approximation CKKS tolerates by design).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        assert!(
+            (a.scale / b.scale - 1.0).abs() < 1e-2,
+            "scale mismatch: {} vs {}",
+            a.scale,
+            b.scale
+        );
+        Ciphertext {
+            c0: a.c0.add(&b.c0),
+            c1: a.c1.add(&b.c1),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// HE-Sub.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        assert!((a.scale / b.scale - 1.0).abs() < 1e-2, "scale mismatch");
+        Ciphertext {
+            c0: a.c0.sub(&b.c0),
+            c1: a.c1.sub(&b.c1),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Plaintext addition (plaintext encoded at the ciphertext's level
+    /// and scale, evaluation domain).
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
+        assert_eq!(
+            pt.level_count(),
+            ct.level,
+            "encode the plaintext at ct's level"
+        );
+        Ciphertext {
+            c0: ct.c0.add(pt),
+            c1: ct.c1.clone(),
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Plaintext multiplication; the result's scale is the product
+    /// (rescale afterwards to restore it).
+    pub fn mult_plain(&self, ct: &Ciphertext, pt: &RnsPoly, pt_scale: f64) -> Ciphertext {
+        assert_eq!(
+            pt.level_count(),
+            ct.level,
+            "encode the plaintext at ct's level"
+        );
+        Ciphertext {
+            c0: ct.c0.mul_pointwise(pt),
+            c1: ct.c1.mul_pointwise(pt),
+            level: ct.level,
+            scale: ct.scale * pt_scale,
+        }
+    }
+
+    /// HE-Mult: tensor product, relinearization with the `s²` switching
+    /// key, then one rescale.
+    pub fn mult(&self, a: &Ciphertext, b: &Ciphertext, relin: &SwitchingKey) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        let d0 = a.c0.mul_pointwise(&b.c0);
+        let d1 = a.c0.mul_pointwise(&b.c1).add(&a.c1.mul_pointwise(&b.c0));
+        let d2 = a.c1.mul_pointwise(&b.c1);
+        let (k0, k1) = self.key_switch(&d2, relin);
+        let ct = Ciphertext {
+            c0: d0.add(&k0),
+            c1: d1.add(&k1),
+            level: a.level,
+            scale: a.scale * b.scale,
+        };
+        self.rescale(&ct)
+    }
+
+    /// HE-Mult without the final rescale (for scale-management schemes).
+    pub fn mult_no_rescale(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        relin: &SwitchingKey,
+    ) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        let d0 = a.c0.mul_pointwise(&b.c0);
+        let d1 = a.c0.mul_pointwise(&b.c1).add(&a.c1.mul_pointwise(&b.c0));
+        let d2 = a.c1.mul_pointwise(&b.c1);
+        let (k0, k1) = self.key_switch(&d2, relin);
+        Ciphertext {
+            c0: d0.add(&k0),
+            c1: d1.add(&k1),
+            level: a.level,
+            scale: a.scale * b.scale,
+        }
+    }
+
+    /// Rescale: divides by the last modulus and drops one limb
+    /// (`1 INTT + (l-1) NTT` worth of domain conversions — the kernel
+    /// mix of paper Fig. 14).
+    ///
+    /// # Panics
+    /// Panics at level 1 (no limb left to drop).
+    pub fn rescale(&self, ct: &Ciphertext) -> Ciphertext {
+        assert!(ct.level >= 2, "cannot rescale at level 1");
+        let l = ct.level;
+        let q_last = self.ctx.q_moduli()[l - 1];
+        let new_ctx = self.ctx.level_ctx(l - 1).clone();
+        let rescale_poly = |p: &RnsPoly| -> RnsPoly {
+            let mut c = p.clone();
+            c.to_coefficient();
+            let last = c.limbs()[l - 1].clone();
+            let mut new_limbs = Vec::with_capacity(l - 1);
+            for i in 0..l - 1 {
+                let qi = new_ctx.moduli()[i];
+                let inv = modops::inv_mod(q_last % qi, qi).expect("coprime chain");
+                let limb: Vec<u64> = c.limbs()[i]
+                    .iter()
+                    .zip(&last)
+                    .map(|(&ci, &cl)| {
+                        // centered last-limb residue for round-to-nearest
+                        let centered = modops::to_signed(cl, q_last);
+                        let cl_i = modops::from_signed(centered, qi);
+                        modops::mul_mod(modops::sub_mod(ci, cl_i, qi), inv, qi)
+                    })
+                    .collect();
+                new_limbs.push(limb);
+            }
+            let mut out = RnsPoly::from_limbs(new_ctx.clone(), new_limbs, Domain::Coefficient);
+            out.to_evaluation();
+            out
+        };
+        Ciphertext {
+            c0: rescale_poly(&ct.c0),
+            c1: rescale_poly(&ct.c1),
+            level: l - 1,
+            scale: ct.scale / q_last as f64,
+        }
+    }
+
+    /// HE-Rotate by `steps` slots (Galois automorphism + key switch).
+    pub fn rotate(&self, ct: &Ciphertext, steps: usize, rot_key: &SwitchingKey) -> Ciphertext {
+        let g = self.ctx.galois_element(steps);
+        let mut c0 = ct.c0.clone();
+        let mut c1 = ct.c1.clone();
+        c0.to_coefficient();
+        c1.to_coefficient();
+        let mut c0r = c0.automorphism(g);
+        let mut c1r = c1.automorphism(g);
+        c0r.to_evaluation();
+        c1r.to_evaluation();
+        let (k0, k1) = self.key_switch(&c1r, rot_key);
+        Ciphertext {
+            c0: c0r.add(&k0),
+            c1: k1,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Slot-wise complex conjugation (`σ_{2N-1}` + key switch with the
+    /// conjugation key).
+    pub fn conjugate(&self, ct: &Ciphertext, conj_key: &SwitchingKey) -> Ciphertext {
+        let g = 2 * self.ctx.params().n as u64 - 1;
+        let mut c0 = ct.c0.clone();
+        let mut c1 = ct.c1.clone();
+        c0.to_coefficient();
+        c1.to_coefficient();
+        let mut c0r = c0.automorphism(g);
+        let mut c1r = c1.automorphism(g);
+        c0r.to_evaluation();
+        c1r.to_evaluation();
+        let (k0, k1) = self.key_switch(&c1r, conj_key);
+        Ciphertext {
+            c0: c0r.add(&k0),
+            c1: k1,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Hybrid key switching (paper [37]): digit-decomposes `d`,
+    /// base-extends each digit to `Q_l·P`, inner-products with the key
+    /// digits, and divides by `P`. Returns `(out0, out1)` with
+    /// `out0 + out1·s ≈ d·s'`.
+    pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey) -> (RnsPoly, RnsPoly) {
+        let l = d.level_count();
+        let n = self.ctx.params().n;
+        let ks_ctx = self.ctx.ks_ctx(l).clone();
+        let qs: Vec<u64> = self.ctx.q_moduli()[..l].to_vec();
+        let ps: Vec<u64> = self.ctx.p_moduli().to_vec();
+        let big_l = self.ctx.params().limbs;
+
+        let mut d_coeff = d.clone();
+        d_coeff.to_coefficient();
+
+        let mut acc0 = RnsPoly::zero(ks_ctx.clone());
+        acc0.to_evaluation();
+        let mut acc1 = acc0.clone();
+
+        for j in 0..self.ctx.digit_count(l) {
+            let range = self.ctx.digit_range(j, l);
+            let digit_moduli: Vec<u64> = qs[range.clone()].to_vec();
+            // target moduli: all level moduli outside the digit, then P.
+            let mut other: Vec<u64> = Vec::new();
+            let mut other_idx: Vec<usize> = Vec::new();
+            for (i, &q) in qs.iter().enumerate() {
+                if !range.contains(&i) {
+                    other.push(q);
+                    other_idx.push(i);
+                }
+            }
+            for (pi, &p) in ps.iter().enumerate() {
+                other.push(p);
+                other_idx.push(l + pi);
+            }
+            // fast base extension of the digit
+            let digit_limbs: Vec<Vec<u64>> =
+                range.clone().map(|i| d_coeff.limbs()[i].clone()).collect();
+            let converted: Vec<Vec<u64>> = if other.is_empty() {
+                Vec::new()
+            } else {
+                let table = RnsBasis::new(digit_moduli.clone()).bconv_table(&other);
+                let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
+                kernel.convert_reference(&digit_limbs)
+            };
+            // assemble the extended polynomial over the ks chain
+            let mut ext_limbs: Vec<Vec<u64>> = vec![Vec::new(); l + ps.len()];
+            for (offset, i) in range.clone().enumerate() {
+                ext_limbs[i] = digit_limbs[offset].clone();
+            }
+            for (ci, &target_slot) in other_idx.iter().enumerate() {
+                ext_limbs[target_slot] = converted[ci].clone();
+            }
+            let mut ext = RnsPoly::from_limbs(ks_ctx.clone(), ext_limbs, Domain::Coefficient);
+            ext.to_evaluation();
+            // select the key limbs for this level: q indices 0..l plus
+            // the extension indices big_l..big_l+k of the global chain.
+            let select = |limbs: &[Vec<u64>]| -> Vec<Vec<u64>> {
+                let mut out: Vec<Vec<u64>> = limbs[..l].to_vec();
+                out.extend_from_slice(&limbs[big_l..big_l + ps.len()]);
+                out
+            };
+            let kb =
+                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].b), Domain::Evaluation);
+            let ka =
+                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].a), Domain::Evaluation);
+            acc0 = acc0.add(&ext.mul_pointwise(&kb));
+            acc1 = acc1.add(&ext.mul_pointwise(&ka));
+        }
+        (self.mod_down(&acc0, l), self.mod_down(&acc1, l))
+    }
+
+    /// Divides an extended (`Q_l·P`) polynomial by `P`, returning a
+    /// level-`l` polynomial (evaluation domain).
+    fn mod_down(&self, c: &RnsPoly, l: usize) -> RnsPoly {
+        let n = self.ctx.params().n;
+        let qs: Vec<u64> = self.ctx.q_moduli()[..l].to_vec();
+        let ps: Vec<u64> = self.ctx.p_moduli().to_vec();
+        let level_ctx = self.ctx.level_ctx(l).clone();
+        let mut cc = c.clone();
+        cc.to_coefficient();
+        let p_limbs: Vec<Vec<u64>> = cc.limbs()[l..].to_vec();
+        let table = RnsBasis::new(ps.clone()).bconv_table(&qs);
+        let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
+        let cp = kernel.convert_reference(&p_limbs);
+        let big_p = self.ctx.big_p();
+        let mut new_limbs = Vec::with_capacity(l);
+        for (i, &qi) in qs.iter().enumerate() {
+            let p_inv = modops::inv_mod(big_p.mod_u64(qi), qi).expect("coprime");
+            let limb: Vec<u64> = cc.limbs()[i]
+                .iter()
+                .zip(&cp[i])
+                .map(|(&ci, &cpi)| modops::mul_mod(modops::sub_mod(ci, cpi % qi, qi), p_inv, qi))
+                .collect();
+            new_limbs.push(limb);
+        }
+        let mut out = RnsPoly::from_limbs(level_ctx, new_limbs, Domain::Coefficient);
+        out.to_evaluation();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+
+    fn setup() -> (CkksContext, crate::keys::KeyPair) {
+        let ctx = CkksContext::new(CkksParams::toy(), 123);
+        let kp = ctx.generate_keys();
+        (ctx, kp)
+    }
+
+    fn msg_a(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.5 + (i as f64 * 0.37).sin() * 0.4)
+            .collect()
+    }
+
+    fn msg_b(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.3 + (i as f64 * 0.11).cos() * 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn he_add() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let (a, b) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
+        let ca = ctx.encrypt(&a, &kp.public);
+        let cb = ctx.encrypt(&b, &kp.public);
+        let sum = ev.add(&ca, &cb);
+        let got = ctx.decrypt(&sum, &kp.secret);
+        for i in 0..a.len() {
+            assert!((got[i] - (a[i] + b[i])).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn he_sub() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let (a, b) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
+        let ca = ctx.encrypt(&a, &kp.public);
+        let cb = ctx.encrypt(&b, &kp.public);
+        let got = ctx.decrypt(&ev.sub(&ca, &cb), &kp.secret);
+        for i in 0..a.len() {
+            assert!((got[i] - (a[i] - b[i])).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn he_mult_with_relin_and_rescale() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let (a, b) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
+        let ca = ctx.encrypt(&a, &kp.public);
+        let cb = ctx.encrypt(&b, &kp.public);
+        let prod = ev.mult(&ca, &cb, &kp.relin);
+        assert_eq!(prod.level, ctx.params().limbs - 1);
+        let got = ctx.decrypt(&prod, &kp.secret);
+        for i in 0..a.len() {
+            assert!(
+                (got[i] - a[i] * b[i]).abs() < 5e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn he_mult_depth_two() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let ca = ctx.encrypt(&a, &kp.public);
+        let sq = ev.mult(&ca, &ca, &kp.relin);
+        let quad = ev.mult(&sq, &sq, &kp.relin);
+        let got = ctx.decrypt(&quad, &kp.secret);
+        for i in 0..a.len() {
+            let want = a[i].powi(4);
+            assert!(
+                (got[i] - want).abs() < 0.2,
+                "slot {i}: {} vs {want}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mult_plain_then_rescale() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let (a, w) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
+        let ca = ctx.encrypt(&a, &kp.public);
+        let pt = ctx.encode_at(&w, ca.level, ctx.params().scale());
+        let prod = ev.rescale(&ev.mult_plain(&ca, &pt, ctx.params().scale()));
+        let got = ctx.decrypt(&prod, &kp.secret);
+        for i in 0..a.len() {
+            assert!((got[i] - a[i] * w[i]).abs() < 1e-2, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn add_plain() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let (a, w) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
+        let ca = ctx.encrypt(&a, &kp.public);
+        let pt = ctx.encode_at(&w, ca.level, ca.scale);
+        let got = ctx.decrypt(&ev.add_plain(&ca, &pt), &kp.secret);
+        for i in 0..a.len() {
+            assert!((got[i] - (a[i] + w[i])).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn rotate_by_one() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let rk = ctx.generate_rotation_key(&kp.secret, 1);
+        let ca = ctx.encrypt(&a, &kp.public);
+        let rot = ev.rotate(&ca, 1, &rk);
+        let got = ctx.decrypt(&rot, &kp.secret);
+        let s = ctx.slot_count();
+        for i in 0..s {
+            let want = a[(i + 1) % s];
+            assert!(
+                (got[i] - want).abs() < 5e-2,
+                "slot {i}: {} vs {want}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rotate_composes() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let rk1 = ctx.generate_rotation_key(&kp.secret, 1);
+        let rk2 = ctx.generate_rotation_key(&kp.secret, 2);
+        let ca = ctx.encrypt(&a, &kp.public);
+        let twice = ev.rotate(&ev.rotate(&ca, 1, &rk1), 1, &rk1);
+        let once2 = ev.rotate(&ca, 2, &rk2);
+        let g1 = ctx.decrypt(&twice, &kp.secret);
+        let g2 = ctx.decrypt(&once2, &kp.secret);
+        for i in 0..ctx.slot_count() {
+            assert!((g1[i] - g2[i]).abs() < 1e-1, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn rescale_tracks_scale() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let ca = ctx.encrypt(&a, &kp.public);
+        let q_last = ctx.q_moduli()[ca.level - 1];
+        let pt = ctx.encode_at(&vec![1.0; ctx.slot_count()], ca.level, ctx.params().scale());
+        let r = ev.rescale(&ev.mult_plain(&ca, &pt, ctx.params().scale()));
+        assert_eq!(r.level, ca.level - 1);
+        assert!((r.scale - ca.scale * ctx.params().scale() / q_last as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn mod_drop_preserves_message() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let ca = ctx.encrypt(&a, &kp.public);
+        let dropped = ev.mod_drop(&ca, 2);
+        let got = ctx.decrypt(&dropped, &kp.secret);
+        for i in 0..a.len() {
+            assert!((got[i] - a[i]).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale mismatch")]
+    fn add_rejects_scale_mismatch() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let ca = ctx.encrypt(&a, &kp.public);
+        let mut cb = ctx.encrypt(&a, &kp.public);
+        cb.scale *= 2.0;
+        let _ = ev.add(&ca, &cb);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-style homomorphism tests for the CKKS stack: encrypted
+//! arithmetic must commute with plaintext arithmetic across operator
+//! mixes, seeds and parameter sets.
+
+use cross_ckks::encoder::Complex64;
+use cross_ckks::{CkksContext, CkksParams, Evaluator};
+
+fn mean_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[test]
+fn add_commutes_many_seeds() {
+    for seed in [1u64, 42, 12345] {
+        let ctx = CkksContext::new(CkksParams::toy(), seed);
+        let kp = ctx.generate_keys();
+        let ev = Evaluator::new(&ctx);
+        let a: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| ((i as f64) * 0.7).sin())
+            .collect();
+        let b: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| ((i as f64) * 1.3).cos())
+            .collect();
+        let got = ctx.decrypt(
+            &ev.add(&ctx.encrypt(&a, &kp.public), &ctx.encrypt(&b, &kp.public)),
+            &kp.secret,
+        );
+        let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert!(mean_abs_err(&got, &want) < 1e-3, "seed {seed}");
+    }
+}
+
+#[test]
+fn mult_associativity_up_to_noise() {
+    // (a·b)·c ≈ a·(b·c) under encryption.
+    let ctx = CkksContext::new(CkksParams::new(1 << 10, 5, 2, 28), 3);
+    let kp = ctx.generate_keys();
+    let ev = Evaluator::new(&ctx);
+    let s = ctx.slot_count();
+    let a: Vec<f64> = (0..s)
+        .map(|i| 0.5 + 0.1 * ((i as f64) * 0.2).sin())
+        .collect();
+    let b: Vec<f64> = (0..s)
+        .map(|i| 0.4 + 0.1 * ((i as f64) * 0.4).cos())
+        .collect();
+    let c: Vec<f64> = (0..s)
+        .map(|i| 0.6 - 0.1 * ((i as f64) * 0.1).sin())
+        .collect();
+    let (ca, cb, cc) = (
+        ctx.encrypt(&a, &kp.public),
+        ctx.encrypt(&b, &kp.public),
+        ctx.encrypt(&c, &kp.public),
+    );
+    let lhs = ev.mult(&ev.mult(&ca, &cb, &kp.relin), &cc, &kp.relin);
+    let rhs = ev.mult(&ca, &ev.mult(&cb, &cc, &kp.relin), &kp.relin);
+    let dl = ctx.decrypt(&lhs, &kp.secret);
+    let dr = ctx.decrypt(&rhs, &kp.secret);
+    assert!(mean_abs_err(&dl, &dr) < 1e-2);
+    let want: Vec<f64> = (0..s).map(|i| a[i] * b[i] * c[i]).collect();
+    assert!(mean_abs_err(&dl, &want) < 2e-2);
+}
+
+#[test]
+fn rotation_inverse_cancels() {
+    // rotate by k then by slots-k returns the original message.
+    let ctx = CkksContext::new(CkksParams::toy(), 9);
+    let kp = ctx.generate_keys();
+    let ev = Evaluator::new(&ctx);
+    let s = ctx.slot_count();
+    let k = 3usize;
+    let rk_fwd = ctx.generate_rotation_key(&kp.secret, k);
+    let rk_back = ctx.generate_rotation_key(&kp.secret, s - k);
+    let msg: Vec<f64> = (0..s).map(|i| (i % 17) as f64 * 0.05).collect();
+    let ct = ctx.encrypt(&msg, &kp.public);
+    let round = ev.rotate(&ev.rotate(&ct, k, &rk_fwd), s - k, &rk_back);
+    let got = ctx.decrypt(&round, &kp.secret);
+    assert!(mean_abs_err(&got, &msg) < 5e-2);
+}
+
+#[test]
+fn conjugation_conjugates_slots() {
+    let ctx = CkksContext::new(CkksParams::toy(), 21);
+    let kp = ctx.generate_keys();
+    let ev = Evaluator::new(&ctx);
+    let ck = ctx.generate_conjugation_key(&kp.secret);
+    let s = ctx.slot_count();
+    // complex message
+    let slots: Vec<Complex64> = (0..s)
+        .map(|i| Complex64::new((i as f64 * 0.02).sin(), (i as f64 * 0.03).cos() * 0.5))
+        .collect();
+    let coeffs = ctx.encoder().encode(&slots, ctx.params().scale());
+    let mut pt = cross_poly::rns_poly::RnsPoly::from_signed_coeffs(
+        ctx.level_ctx(ctx.params().limbs).clone(),
+        &coeffs,
+    );
+    pt.to_evaluation();
+    let ct = ctx.encrypt_plaintext(&pt, &kp.public, ctx.params().scale());
+    let conj = ev.conjugate(&ct, &ck);
+    // decrypt raw and decode as complex
+    let m = ctx.decrypt_to_poly(&conj, &kp.secret);
+    let cf: Vec<f64> = (0..ctx.params().n).map(|j| m.coeff_signed_f64(j)).collect();
+    let got = ctx.encoder().decode(&cf, conj.scale);
+    for i in 0..s {
+        assert!(
+            (got[i].re - slots[i].re).abs() < 5e-2 && (got[i].im + slots[i].im).abs() < 5e-2,
+            "slot {i}: {:?} vs conj {:?}",
+            got[i],
+            slots[i]
+        );
+    }
+}
+
+#[test]
+fn deep_plaintext_chain_tracks_scale() {
+    // L-2 successive plaintext multiplies + rescales stay decodable.
+    let ctx = CkksContext::new(CkksParams::new(1 << 10, 6, 2, 28), 31);
+    let kp = ctx.generate_keys();
+    let ev = Evaluator::new(&ctx);
+    let s = ctx.slot_count();
+    let msg: Vec<f64> = (0..s).map(|i| 0.9 - (i % 10) as f64 * 0.01).collect();
+    let mut ct = ctx.encrypt(&msg, &kp.public);
+    let mut want = msg.clone();
+    for step in 0..4 {
+        let factor = 0.8 + 0.05 * step as f64;
+        let pt = ctx.encode_at(&vec![factor; s], ct.level, ctx.params().scale());
+        ct = ev.rescale(&ev.mult_plain(&ct, &pt, ctx.params().scale()));
+        for w in want.iter_mut() {
+            *w *= factor;
+        }
+    }
+    let got = ctx.decrypt(&ct, &kp.secret);
+    assert!(mean_abs_err(&got, &want) < 2e-2);
+}
+
+#[test]
+fn different_param_sets_roundtrip() {
+    for (n, limbs, dnum) in [
+        (1usize << 8, 3usize, 1usize),
+        (1 << 9, 4, 2),
+        (1 << 11, 6, 3),
+    ] {
+        let ctx = CkksContext::new(CkksParams::new(n, limbs, dnum, 28), 77);
+        let kp = ctx.generate_keys();
+        let msg: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| (i as f64 * 0.01).sin())
+            .collect();
+        let got = ctx.decrypt(&ctx.encrypt(&msg, &kp.public), &kp.secret);
+        assert!(mean_abs_err(&got, &msg) < 1e-3, "n={n} limbs={limbs}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Basis-Aligned Transformation (BAT) — paper §IV-A.
+//!
+//! BAT turns high-precision modular arithmetic over *preknown*
+//! parameters (twiddle factors, BConv primes, switching keys) into dense
+//! int8 matrix multiplication:
+//!
+//! * [`chunk`] — byte decomposition/merge (Alg. 2 `CHUNKDECOMPOSE`/`CHUNKMERGE`);
+//! * [`scalar`] — scalar BAT via Toeplitz construction, modular folding
+//!   of the high-basis block and carry propagation (Alg. 5, Fig. 7);
+//! * [`matmul`] — high-precision `ModMatMul` → low-precision dense
+//!   matmul (Alg. 2, Fig. 8);
+//! * [`lazy`] — BAT lazy modular reduction as a `K×K` matmul (App. J);
+//! * [`conv`] — the 1-D convolution fallback when *no* operand is known
+//!   offline (App. H, Fig. 16).
+
+pub mod chunk;
+pub mod conv;
+pub mod lazy;
+pub mod matmul;
+pub mod scalar;

@@ -1,0 +1,373 @@
+//! Basis Conversion lowered through BAT (paper §IV-A3b, Fig. 8, Tab. VI).
+//!
+//! BConv is the two-step kernel of Fig. 15b:
+//!
+//! 1. `L×N`-VecModMul by `[q̂_i^{-1}]_{q_i}` (VPU),
+//! 2. `(N, L, L')`-ModMatMul against the preknown prime matrix
+//!    `[q̂_i]_{p_j}` — high-precision on the baseline (VPU-bound), or a
+//!    dense `(N, KL, KL')` int8 matmul on the MXU after BAT.
+//!
+//! Step 2's modulus varies **per output column** (`p_j`), which Alg. 2
+//! handles naturally: each `K×K` block of the dense matrix is compiled
+//! with its own column modulus.
+
+use crate::bat::{chunk, scalar};
+use crate::modred::{ModRed, PreparedParams, VecModMul};
+use cross_math::modops;
+use cross_math::rns::BconvTable;
+use cross_tpu::{Category, TpuSim};
+
+/// A BConv kernel compiled for one `(source, target)` basis pair at a
+/// fixed degree.
+#[derive(Debug, Clone)]
+pub struct BconvKernel {
+    n: usize,
+    l: usize,
+    l_out: usize,
+    k: usize,
+    source: Vec<u64>,
+    target: Vec<u64>,
+    /// Step-1 multipliers prepared per source limb.
+    step1: Vec<(VecModMul, PreparedParams)>,
+    /// BAT-dense step-2 matrix, `(K·L) × (K·L')` bytes, row-major.
+    m_dense: Vec<u8>,
+    /// Plain step-2 matrix for the reference/baseline path (`L × L'`).
+    m_plain: Vec<Vec<u64>>,
+}
+
+impl BconvKernel {
+    /// Compiles the kernel from a precomputed [`BconvTable`].
+    ///
+    /// # Panics
+    /// Panics if any modulus needs more than `K = 4` byte chunks.
+    pub fn compile(table: &BconvTable, n: usize, modred: ModRed) -> Self {
+        let source = table.source().to_vec();
+        let target = table.target().to_vec();
+        let (l, l_out) = (source.len(), target.len());
+        let k = 4usize;
+        for &m in source.iter().chain(&target) {
+            assert!(
+                chunk::chunk_count(m, 8) <= k,
+                "moduli must fit K=4 byte chunks"
+            );
+        }
+        let step1 = source
+            .iter()
+            .enumerate()
+            .map(|(i, &qi)| {
+                let vm = VecModMul::new(qi, modred);
+                let params = vm.prepare_params(&vec![table.qhat_inv()[i]; n]);
+                (vm, params)
+            })
+            .collect();
+        let (kl, klo) = (k * l, k * l_out);
+        let mut m_dense = vec![0u8; kl * klo];
+        let mut m_plain = vec![vec![0u64; l_out]; l];
+        for i in 0..l {
+            for j in 0..l_out {
+                let pj = target[j];
+                let w = table.qhat_mod_p(i, j);
+                m_plain[i][j] = w;
+                // K×K block for entry (i, j) under column modulus p_j:
+                // dense[(i·K+kk), (j·K+t)] = chunk_t((w << kk·8) mod p_j).
+                let m = scalar::direct_scalar_bat(w % pj, k, 8, pj);
+                for kk in 0..k {
+                    for t in 0..k {
+                        m_dense[(i * k + kk) * klo + (j * k + t)] = m[t][kk] as u8;
+                    }
+                }
+            }
+        }
+        Self {
+            n,
+            l,
+            l_out,
+            k,
+            source,
+            target,
+            step1,
+            m_dense,
+            m_plain,
+        }
+    }
+
+    /// Degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Source limb count `L`.
+    pub fn limbs_in(&self) -> usize {
+        self.l
+    }
+
+    /// Target limb count `L'`.
+    pub fn limbs_out(&self) -> usize {
+        self.l_out
+    }
+
+    /// Bytes of the compiled dense step-2 matrix.
+    pub fn param_bytes(&self) -> usize {
+        self.m_dense.len()
+    }
+
+    /// Step 1 on the simulator: `b_i = a_i · q̂_i^{-1} mod q_i` per limb.
+    pub fn step1_on_tpu(&self, sim: &mut TpuSim, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(limbs.len(), self.l, "limb count mismatch");
+        limbs
+            .iter()
+            .zip(&self.step1)
+            .map(|(limb, (vm, params))| vm.mul_vec(sim, limb, params, Category::VecModOps))
+            .collect()
+    }
+
+    /// Step 2 via BAT on the MXU: `(N × KL) @ (KL × KL')` int8 matmul,
+    /// merged and reduced per column modulus.
+    pub fn step2_bat_on_tpu(&self, sim: &mut TpuSim, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let (kl, klo) = (self.k * self.l, self.k * self.l_out);
+        // Runtime chunking of the N×L data into N×KL (type conversion).
+        sim.charge_vpu(
+            self.n * self.l,
+            2 * self.k as u32,
+            Category::TypeConversion,
+            "u32->chunks",
+        );
+        let mut d = vec![0u8; self.n * kl];
+        for (i, limb) in b.iter().enumerate() {
+            assert_eq!(limb.len(), self.n);
+            for (nn, &v) in limb.iter().enumerate() {
+                for (kk, &c) in chunk::decompose(v, self.k, 8).iter().enumerate() {
+                    d[nn * kl + i * self.k + kk] = c as u8;
+                }
+            }
+        }
+        let z = sim.matmul_u8(&d, &self.m_dense, self.n, kl, klo, Category::BconvMatMul);
+        sim.charge_vpu(
+            self.n * self.l_out,
+            self.k as u32,
+            Category::VecModOps,
+            "chunk merge",
+        );
+        sim.charge_vpu(
+            self.n * self.l_out,
+            ModRed::Montgomery.vpu_ops(),
+            Category::VecModOps,
+            "final mod reduce",
+        );
+        (0..self.l_out)
+            .map(|j| {
+                let pj = self.target[j];
+                (0..self.n)
+                    .map(|nn| {
+                        let mut acc = 0u128;
+                        for t in 0..self.k {
+                            acc += (z[nn * klo + j * self.k + t] as u128) << (8 * t as u32);
+                        }
+                        modops::reduce_u128(acc, pj)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Step 2 on the VPU only (the TPU *baseline* of Tab. VI): `L`
+    /// high-precision multiply-accumulates per output element.
+    pub fn step2_baseline_on_tpu(&self, sim: &mut TpuSim, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        sim.charge_vpu(
+            self.n * self.l_out,
+            self.l as u32 * (ModRed::Montgomery.vpu_ops() + 2),
+            Category::VecModOps,
+            "hp modmatmul on vpu",
+        );
+        self.step2_reference(b)
+    }
+
+    /// Pure-CPU step-2 oracle.
+    pub fn step2_reference(&self, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        (0..self.l_out)
+            .map(|j| {
+                let pj = self.target[j];
+                (0..self.n)
+                    .map(|nn| {
+                        let mut acc = 0u128;
+                        for i in 0..self.l {
+                            acc += (b[i][nn] % pj) as u128 * self.m_plain[i][j] as u128;
+                        }
+                        (acc % pj as u128) as u64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Full conversion on the simulator with BAT (`use_bat = true`) or
+    /// the VPU baseline. Returns target-basis limbs.
+    pub fn convert_on_tpu(
+        &self,
+        sim: &mut TpuSim,
+        limbs: &[Vec<u64>],
+        use_bat: bool,
+    ) -> Vec<Vec<u64>> {
+        let b = self.step1_on_tpu(sim, limbs);
+        if use_bat {
+            self.step2_bat_on_tpu(sim, &b)
+        } else {
+            self.step2_baseline_on_tpu(sim, &b)
+        }
+    }
+
+    /// Cost-only charge of a full conversion (optionally batched over
+    /// several polynomials).
+    pub fn charge(&self, sim: &mut TpuSim, use_bat: bool, batch: usize) {
+        let n = self.n * batch;
+        sim.charge_vpu(
+            n * self.l,
+            ModRed::Montgomery.vpu_ops(),
+            Category::VecModOps,
+            "bconv step1",
+        );
+        if use_bat {
+            let (kl, klo) = (self.k * self.l, self.k * self.l_out);
+            sim.dma_in(self.param_bytes() as f64, "bconv primes");
+            sim.charge_vpu(
+                n * self.l,
+                2 * self.k as u32,
+                Category::TypeConversion,
+                "chunks",
+            );
+            sim.charge_matmul_u8(n, kl, klo, Category::BconvMatMul);
+            sim.charge_vpu(n * self.l_out, self.k as u32, Category::VecModOps, "merge");
+            sim.charge_vpu(
+                n * self.l_out,
+                ModRed::Montgomery.vpu_ops(),
+                Category::VecModOps,
+                "reduce",
+            );
+        } else {
+            sim.charge_vpu(
+                n * self.l_out,
+                self.l as u32 * (ModRed::Montgomery.vpu_ops() + 2),
+                Category::VecModOps,
+                "hp modmatmul on vpu",
+            );
+        }
+    }
+
+    /// Scalar-path oracle via [`BconvTable::convert_scalar`] semantics:
+    /// full reference conversion of all coefficients.
+    pub fn convert_reference(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let b: Vec<Vec<u64>> = limbs
+            .iter()
+            .zip(&self.step1)
+            .enumerate()
+            .map(|(i, (limb, _))| {
+                let qi = self.source[i];
+                let qhat_inv = match &self.step1[i].1 {
+                    PreparedParams::Plain(v) => v[0],
+                    PreparedParams::Montgomery(v) => self.step1[i].0.montgomery().from_mont(v[0]),
+                    PreparedParams::Shoup(v, _) => v[0],
+                };
+                limb.iter()
+                    .map(|&x| modops::mul_mod(x % qi, qhat_inv, qi))
+                    .collect()
+            })
+            .collect();
+        self.step2_reference(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_math::primes;
+    use cross_math::rns::RnsBasis;
+    use cross_tpu::TpuGeneration;
+
+    fn setup(l: usize, l_out: usize, n: usize) -> (RnsBasis, Vec<u64>, BconvKernel) {
+        let all = primes::ntt_prime_chain(28, 1 << 10, l + l_out).unwrap();
+        let basis = RnsBasis::new(all[..l].to_vec());
+        let target = all[l..].to_vec();
+        let table = basis.bconv_table(&target);
+        let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
+        (basis, target, kernel)
+    }
+
+    fn limbs_of(basis: &RnsBasis, values: &[u64], n: usize) -> Vec<Vec<u64>> {
+        // values: one integer per coefficient, reduced into each limb.
+        basis
+            .moduli()
+            .iter()
+            .map(|&q| (0..n).map(|i| values[i] % q).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bat_step2_matches_reference() {
+        let (basis, _, kernel) = setup(3, 2, 16);
+        let values: Vec<u64> = (0..16u64).map(|i| i * 999_983 + 7).collect();
+        let limbs = limbs_of(&basis, &values, 16);
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let b = kernel.step1_on_tpu(&mut sim, &limbs);
+        let got = kernel.step2_bat_on_tpu(&mut sim, &b);
+        assert_eq!(got, kernel.step2_reference(&b));
+    }
+
+    #[test]
+    fn full_conversion_consistent_between_paths() {
+        let (basis, _, kernel) = setup(4, 3, 8);
+        let values: Vec<u64> = (0..8u64).map(|i| i * 123_457 + 1).collect();
+        let limbs = limbs_of(&basis, &values, 8);
+        let mut s1 = TpuSim::new(TpuGeneration::V6e);
+        let mut s2 = TpuSim::new(TpuGeneration::V6e);
+        let bat = kernel.convert_on_tpu(&mut s1, &limbs, true);
+        let base = kernel.convert_on_tpu(&mut s2, &limbs, false);
+        assert_eq!(bat, base, "BAT and baseline must agree functionally");
+        assert_eq!(bat, kernel.convert_reference(&limbs));
+    }
+
+    #[test]
+    fn conversion_is_fast_base_extension() {
+        // The HPS fast base conversion yields x + e·Q for small e ≥ 0.
+        let (basis, target, kernel) = setup(3, 2, 4);
+        let x = 123_456_789u64;
+        let limbs = limbs_of(&basis, &[x; 4], 4);
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let out = kernel.convert_on_tpu(&mut sim, &limbs, true);
+        for (j, &pj) in target.iter().enumerate() {
+            let mut ok = false;
+            for e in 0..=basis.len() as u64 {
+                let want = cross_math::BigUint::from(e)
+                    .mul(basis.big_q())
+                    .add(&cross_math::BigUint::from(x))
+                    .mod_u64(pj);
+                if out[j][0] == want {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "limb {j}");
+        }
+    }
+
+    #[test]
+    fn bat_charges_less_vpu_more_mxu() {
+        let (basis, _, kernel) = setup(12, 12, 64);
+        let values: Vec<u64> = (0..64u64).collect();
+        let limbs = limbs_of(&basis, &values, 64);
+        let mut s_bat = TpuSim::new(TpuGeneration::V6e);
+        let mut s_base = TpuSim::new(TpuGeneration::V6e);
+        let _ = kernel.convert_on_tpu(&mut s_bat, &limbs, true);
+        let _ = kernel.convert_on_tpu(&mut s_base, &limbs, false);
+        assert!(s_bat.trace().seconds_of(Category::BconvMatMul) > 0.0);
+        assert_eq!(s_base.trace().seconds_of(Category::BconvMatMul), 0.0);
+    }
+
+    #[test]
+    fn charge_matches_shapes() {
+        let (_, _, kernel) = setup(4, 4, 32);
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        kernel.charge(&mut sim, true, 2);
+        assert!(sim.trace().seconds_of(Category::BconvMatMul) > 0.0);
+        assert!(sim.hbm_seconds() > 0.0);
+    }
+}

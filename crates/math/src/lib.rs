@@ -1,0 +1,38 @@
+//! # cross-math
+//!
+//! Arithmetic substrate for the CROSS reproduction: word-level modular
+//! arithmetic, the three modular-reduction algorithms the paper ablates
+//! (Barrett, optimized Montgomery, Shoup), NTT-friendly prime generation,
+//! a minimal arbitrary-precision integer for CRT/`Q`-level computations,
+//! and RNS basis tooling (including the precomputed tables that Basis
+//! Conversion consumes).
+//!
+//! Everything in this crate is implemented from scratch; no external
+//! number-theory dependencies are used.
+//!
+//! ## Example
+//!
+//! ```
+//! use cross_math::{modops, primes};
+//!
+//! // A 28-bit NTT-friendly prime for degree N = 2^12 (q ≡ 1 mod 2N).
+//! let q = primes::ntt_prime(28, 1 << 12, 0).unwrap();
+//! assert_eq!(q % (2 << 12), 1);
+//! let x = modops::mul_mod(123_456, 654_321, q);
+//! assert_eq!(x, (123_456u128 * 654_321 % q as u128) as u64);
+//! ```
+
+pub mod barrett;
+pub mod bigint;
+pub mod bitrev;
+pub mod modops;
+pub mod montgomery;
+pub mod primes;
+pub mod rns;
+pub mod shoup;
+
+pub use barrett::BarrettReducer;
+pub use bigint::BigUint;
+pub use montgomery::Montgomery;
+pub use rns::RnsBasis;
+pub use shoup::ShoupMul;

@@ -1,0 +1,39 @@
+//! # cross-poly
+//!
+//! Negacyclic polynomial rings `R_q = Z_q[x]/(x^N + 1)` and the reference
+//! NTT engines the CROSS paper builds on:
+//!
+//! * a naive `O(N²)` negacyclic transform (test oracle),
+//! * the radix-2 Cooley–Tukey butterfly NTT (paper Alg. 3 / §F1) —
+//!   the algorithm GPUs favour and TPUs suffer under,
+//! * the 4-step matrix NTT (paper Fig. 10 row 1) — the decomposition
+//!   MAT later rewrites into the layout-invariant 3-step form.
+//!
+//! All engines agree bit-for-bit (modulo output ordering, which is part
+//! of each engine's contract) and are property-tested against the
+//! convolution theorem.
+//!
+//! ## Example
+//!
+//! ```
+//! use cross_poly::{NttTables, ntt};
+//! let tables = NttTables::new(1 << 4, cross_math::primes::ntt_prime(28, 1 << 4, 0).unwrap());
+//! let a: Vec<u64> = (0..16).collect();
+//! let mut f = a.clone();
+//! ntt::forward_inplace(&mut f, &tables);   // bit-reversed evaluation domain
+//! let mut inv = f.clone();
+//! ntt::inverse_inplace(&mut inv, &tables); // back to coefficients
+//! assert_eq!(inv, a);
+//! ```
+
+pub mod engines;
+pub mod ntt;
+pub mod ring;
+pub mod rns_poly;
+pub mod sampling;
+pub mod tables;
+
+pub use engines::{CooleyTukeyNtt, FourStepNtt, NaiveNtt, NttEngine, OutputOrder};
+pub use ring::Poly;
+pub use rns_poly::{RnsContext, RnsPoly};
+pub use tables::NttTables;

@@ -1,0 +1,430 @@
+//! RNS ("double-CRT") polynomials: one residue limb per modulus.
+//!
+//! An [`RnsPoly`] is the paper's post-CRT ciphertext polynomial
+//! (§II-A3): `L` limbs of degree-`N` residues that are processed
+//! independently — the limb-level parallelism every accelerator exploits.
+
+use crate::ntt;
+use crate::ring::Domain;
+use crate::tables::NttTables;
+use cross_math::modops::{add_mod, from_signed, mul_mod, neg_mod, sub_mod};
+use cross_math::rns::RnsBasis;
+use std::sync::Arc;
+
+/// Shared context: degree, RNS basis, and per-limb NTT tables.
+#[derive(Debug, Clone)]
+pub struct RnsContext {
+    n: usize,
+    basis: RnsBasis,
+    tables: Vec<Arc<NttTables>>,
+}
+
+impl RnsContext {
+    /// Builds a context for degree `n` over the given moduli chain.
+    ///
+    /// # Panics
+    /// Panics if any modulus is not NTT-friendly for degree `n`.
+    pub fn new(n: usize, moduli: Vec<u64>) -> Self {
+        let tables = moduli
+            .iter()
+            .map(|&q| Arc::new(NttTables::new(n, q)))
+            .collect();
+        let basis = RnsBasis::new(moduli);
+        Self { n, basis, tables }
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of limbs `L`.
+    pub fn level_count(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// The RNS basis.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// The moduli chain.
+    pub fn moduli(&self) -> &[u64] {
+        self.basis.moduli()
+    }
+
+    /// Per-limb NTT tables.
+    pub fn tables(&self) -> &[Arc<NttTables>] {
+        &self.tables
+    }
+
+    /// A context truncated to the first `l` limbs (sharing degree).
+    pub fn truncated(&self, l: usize) -> RnsContext {
+        assert!(l >= 1 && l <= self.level_count());
+        RnsContext {
+            n: self.n,
+            basis: self.basis.truncated(l),
+            tables: self.tables[..l].to_vec(),
+        }
+    }
+}
+
+/// An RNS polynomial: `limbs[i][j]` is coefficient/evaluation `j` mod `q_i`.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    ctx: Arc<RnsContext>,
+    limbs: Vec<Vec<u64>>,
+    domain: Domain,
+}
+
+impl RnsPoly {
+    /// The zero polynomial in the coefficient domain.
+    pub fn zero(ctx: Arc<RnsContext>) -> Self {
+        let limbs = vec![vec![0u64; ctx.n()]; ctx.level_count()];
+        Self {
+            ctx,
+            limbs,
+            domain: Domain::Coefficient,
+        }
+    }
+
+    /// Wraps raw limb data.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch with the context.
+    pub fn from_limbs(ctx: Arc<RnsContext>, limbs: Vec<Vec<u64>>, domain: Domain) -> Self {
+        assert_eq!(limbs.len(), ctx.level_count(), "limb count mismatch");
+        for l in &limbs {
+            assert_eq!(l.len(), ctx.n(), "limb length mismatch");
+        }
+        Self { ctx, limbs, domain }
+    }
+
+    /// Lifts signed coefficients (e.g. a sampled secret or error) into
+    /// every limb.
+    pub fn from_signed_coeffs(ctx: Arc<RnsContext>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n());
+        let limbs = ctx
+            .moduli()
+            .iter()
+            .map(|&q| coeffs.iter().map(|&v| from_signed(v, q)).collect())
+            .collect();
+        Self {
+            ctx,
+            limbs,
+            domain: Domain::Coefficient,
+        }
+    }
+
+    /// Shared context handle.
+    pub fn context(&self) -> &Arc<RnsContext> {
+        &self.ctx
+    }
+
+    /// Current domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Limb views.
+    pub fn limbs(&self) -> &[Vec<u64>] {
+        &self.limbs
+    }
+
+    /// Mutable limb views (caller must preserve reduction invariants).
+    pub fn limbs_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.limbs
+    }
+
+    /// Number of limbs.
+    pub fn level_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Converts all limbs to the evaluation domain.
+    pub fn to_evaluation(&mut self) {
+        if self.domain == Domain::Coefficient {
+            for (limb, t) in self.limbs.iter_mut().zip(self.ctx.tables()) {
+                ntt::forward_inplace(limb, t);
+            }
+            self.domain = Domain::Evaluation;
+        }
+    }
+
+    /// Converts all limbs to the coefficient domain.
+    pub fn to_coefficient(&mut self) {
+        if self.domain == Domain::Evaluation {
+            for (limb, t) in self.limbs.iter_mut().zip(self.ctx.tables()) {
+                ntt::inverse_inplace(limb, t);
+            }
+            self.domain = Domain::Coefficient;
+        }
+    }
+
+    fn check_compat(&self, other: &Self) {
+        assert_eq!(self.ctx.n(), other.ctx.n(), "degree mismatch");
+        assert_eq!(self.level_count(), other.level_count(), "level mismatch");
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+    }
+
+    /// Limb-wise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        self.zip_with(other, add_mod)
+    }
+
+    /// Limb-wise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        self.zip_with(other, sub_mod)
+    }
+
+    /// Limb-wise pointwise product — the HE `VecModMul` kernel. Both
+    /// operands must be in the evaluation domain.
+    ///
+    /// # Panics
+    /// Panics if either operand is in the coefficient domain.
+    pub fn mul_pointwise(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        assert_eq!(
+            self.domain,
+            Domain::Evaluation,
+            "pointwise products require the evaluation domain"
+        );
+        self.zip_with(other, mul_mod)
+    }
+
+    fn zip_with(&self, other: &Self, f: fn(u64, u64, u64) -> u64) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .zip(self.ctx.moduli())
+            .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, &q)| a.iter().map(|&x| neg_mod(x, q)).collect())
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
+    }
+
+    /// Multiplies limb `i` by scalar `s[i]` — BConv step 1 / rescale shape.
+    ///
+    /// # Panics
+    /// Panics if `s.len() != level_count()`.
+    pub fn mul_scalar_per_limb(&self, s: &[u64]) -> Self {
+        assert_eq!(s.len(), self.level_count());
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(s)
+            .zip(self.ctx.moduli())
+            .map(|((a, &si), &q)| a.iter().map(|&x| mul_mod(x, si % q, q)).collect())
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
+    }
+
+    /// Uniform scalar product across limbs.
+    pub fn mul_scalar(&self, s: u64) -> Self {
+        let per: Vec<u64> = self.ctx.moduli().iter().map(|&q| s % q).collect();
+        self.mul_scalar_per_limb(&per)
+    }
+
+    /// Galois automorphism `σ_g` applied limb-wise (coefficient domain).
+    pub fn automorphism(&self, g: u64) -> Self {
+        assert!(g % 2 == 1, "Galois elements must be odd");
+        assert_eq!(
+            self.domain,
+            Domain::Coefficient,
+            "reference automorphism operates on coefficients"
+        );
+        let n = self.ctx.n();
+        let two_n = 2 * n as u64;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, &q)| {
+                let mut out = vec![0u64; n];
+                for (j, &aj) in a.iter().enumerate() {
+                    if aj == 0 {
+                        continue;
+                    }
+                    let e = (j as u64 * (g % two_n)) % two_n;
+                    if e < n as u64 {
+                        out[e as usize] = add_mod(out[e as usize], aj, q);
+                    } else {
+                        let idx = (e - n as u64) as usize;
+                        out[idx] = sub_mod(out[idx], aj, q);
+                    }
+                }
+                out
+            })
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
+    }
+
+    /// Drops the last limb (coefficient interpretation unchanged mod the
+    /// remaining basis). Used by rescale and modulus switching.
+    pub fn drop_last_limb(&self, new_ctx: Arc<RnsContext>) -> Self {
+        assert_eq!(new_ctx.level_count(), self.level_count() - 1);
+        assert_eq!(
+            new_ctx.moduli(),
+            &self.ctx.moduli()[..self.level_count() - 1]
+        );
+        Self {
+            ctx: new_ctx,
+            limbs: self.limbs[..self.level_count() - 1].to_vec(),
+            domain: self.domain,
+        }
+    }
+
+    /// Reconstructs coefficient `j` as a centered `f64` via CRT — the
+    /// decode-side helper (requires the coefficient domain).
+    pub fn coeff_signed_f64(&self, j: usize) -> f64 {
+        assert_eq!(self.domain, Domain::Coefficient);
+        let residues: Vec<u64> = self.limbs.iter().map(|l| l[j]).collect();
+        self.ctx.basis().reconstruct_signed_f64(&residues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_math::primes;
+
+    fn ctx(logn: u32, l: usize) -> Arc<RnsContext> {
+        let n = 1usize << logn;
+        let moduli = primes::ntt_prime_chain(28, n as u64, l).unwrap();
+        Arc::new(RnsContext::new(n, moduli))
+    }
+
+    #[test]
+    fn signed_lift_and_reconstruct() {
+        let c = ctx(4, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| i - 8).collect();
+        let p = RnsPoly::from_signed_coeffs(c, &coeffs);
+        for (j, &v) in coeffs.iter().enumerate() {
+            assert_eq!(p.coeff_signed_f64(j), v as f64);
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip_all_limbs() {
+        let c = ctx(5, 4);
+        let coeffs: Vec<i64> = (0..32).map(|i| 3 * i - 40).collect();
+        let p = RnsPoly::from_signed_coeffs(c, &coeffs);
+        let mut r = p.clone();
+        r.to_evaluation();
+        assert_eq!(r.domain(), Domain::Evaluation);
+        r.to_coefficient();
+        assert_eq!(r.limbs(), p.limbs());
+    }
+
+    #[test]
+    fn pointwise_mul_is_negacyclic_product() {
+        let c = ctx(4, 2);
+        let a_coeffs: Vec<i64> = (0..16).map(|i| i % 5 - 2).collect();
+        let b_coeffs: Vec<i64> = (0..16).map(|i| (i * 3) % 7 - 3).collect();
+        let mut a = RnsPoly::from_signed_coeffs(c.clone(), &a_coeffs);
+        let mut b = RnsPoly::from_signed_coeffs(c.clone(), &b_coeffs);
+        a.to_evaluation();
+        b.to_evaluation();
+        let mut prod = a.mul_pointwise(&b);
+        prod.to_coefficient();
+        // Oracle: schoolbook negacyclic product over the integers, then CRT.
+        let n = 16usize;
+        let mut want = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = a_coeffs[i] * b_coeffs[j];
+                if i + j < n {
+                    want[i + j] += p;
+                } else {
+                    want[i + j - n] -= p;
+                }
+            }
+        }
+        for j in 0..n {
+            assert_eq!(prod.coeff_signed_f64(j), want[j] as f64, "coeff {j}");
+        }
+    }
+
+    #[test]
+    fn add_neg_cancels() {
+        let c = ctx(4, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| 7 * i - 50).collect();
+        let p = RnsPoly::from_signed_coeffs(c.clone(), &coeffs);
+        let z = p.add(&p.neg());
+        for j in 0..16 {
+            assert_eq!(z.coeff_signed_f64(j), 0.0);
+        }
+    }
+
+    #[test]
+    fn per_limb_scalar_mul() {
+        let c = ctx(4, 2);
+        let p = RnsPoly::from_signed_coeffs(c.clone(), &[1i64; 16]);
+        let s = vec![3u64, 5u64];
+        let r = p.mul_scalar_per_limb(&s);
+        for (i, limb) in r.limbs().iter().enumerate() {
+            assert!(limb.iter().all(|&x| x == s[i]));
+        }
+    }
+
+    #[test]
+    fn automorphism_limbwise_consistent() {
+        let c = ctx(5, 3);
+        let coeffs: Vec<i64> = (0..32).map(|i| i - 16).collect();
+        let p = RnsPoly::from_signed_coeffs(c.clone(), &coeffs);
+        let r = p.automorphism(5);
+        // Oracle on signed coefficients.
+        let n = 32usize;
+        let mut want = vec![0i64; n];
+        for (j, &v) in coeffs.iter().enumerate() {
+            let e = (j * 5) % (2 * n);
+            if e < n {
+                want[e] += v;
+            } else {
+                want[e - n] -= v;
+            }
+        }
+        for j in 0..n {
+            assert_eq!(r.coeff_signed_f64(j), want[j] as f64, "coeff {j}");
+        }
+    }
+
+    #[test]
+    fn truncated_context_drop_limb() {
+        let c = ctx(4, 3);
+        let p = RnsPoly::from_signed_coeffs(c.clone(), &[2i64; 16]);
+        let c2 = Arc::new(c.truncated(2));
+        let d = p.drop_last_limb(c2);
+        assert_eq!(d.level_count(), 2);
+        assert_eq!(d.coeff_signed_f64(0), 2.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! XProf-style execution trace: per-category time accounting.
+//!
+//! The paper reads its latency numbers and breakdowns (Fig. 12, Tab. IX)
+//! from the XLA trace viewer; this module is the simulator's equivalent.
+
+use std::collections::BTreeMap;
+
+/// Operation categories, matching the legend of paper Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// MXU matmuls inside forward NTT.
+    NttMatMul,
+    /// MXU matmuls inside inverse NTT.
+    InttMatMul,
+    /// MXU matmuls inside Basis Conversion.
+    BconvMatMul,
+    /// Vectorized modular ops on the VPU (mul/add/sub, reductions).
+    VecModOps,
+    /// Cross-lane permutations (automorphism gather/scatter, shuffles).
+    Permutation,
+    /// 32-bit ↔ byte-chunk conversions introduced by BAT.
+    TypeConversion,
+    /// XLA-induced relayouts to (8,128) tiles.
+    CopyReshape,
+    /// HBM DMA for cold parameters / spills.
+    DmaHbm,
+    /// Everything else (dispatch, scalar fix-ups).
+    Other,
+}
+
+impl Category {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::NttMatMul => "NTT-MatMul",
+            Category::InttMatMul => "INTT-MatMul",
+            Category::BconvMatMul => "BConv-MatMul",
+            Category::VecModOps => "VecModOps",
+            Category::Permutation => "Permutation",
+            Category::TypeConversion => "Type Conversion",
+            Category::CopyReshape => "Copy+Reshape",
+            Category::DmaHbm => "DMA(HBM)",
+            Category::Other => "Other",
+        }
+    }
+
+    /// True for categories that execute on the MXU.
+    pub fn is_mxu(self) -> bool {
+        matches!(
+            self,
+            Category::NttMatMul | Category::InttMatMul | Category::BconvMatMul
+        )
+    }
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Category charged.
+    pub category: Category,
+    /// Seconds of busy time.
+    pub seconds: f64,
+    /// Free-form label (kernel/op name).
+    pub label: String,
+}
+
+/// An append-only execution trace with category roll-ups.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seconds` of busy time under `category`.
+    pub fn record(&mut self, category: Category, seconds: f64, label: impl Into<String>) {
+        debug_assert!(seconds >= 0.0, "negative time");
+        self.entries.push(TraceEntry {
+            category,
+            seconds,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Total busy seconds across all categories.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Busy seconds charged to one category.
+    pub fn seconds_of(&self, category: Category) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .map(|e| e.seconds)
+            .sum()
+    }
+
+    /// Per-category totals, descending by time.
+    pub fn breakdown(&self) -> Vec<(Category, f64)> {
+        let mut map: BTreeMap<Category, f64> = BTreeMap::new();
+        for e in &self.entries {
+            *map.entry(e.category).or_insert(0.0) += e.seconds;
+        }
+        let mut v: Vec<(Category, f64)> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v
+    }
+
+    /// Per-category share of total time (fractions summing to 1).
+    pub fn breakdown_fractions(&self) -> Vec<(Category, f64)> {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            return Vec::new();
+        }
+        self.breakdown()
+            .into_iter()
+            .map(|(c, s)| (c, s / total))
+            .collect()
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders a Fig. 12-style percentage bar as text.
+    pub fn render_percentages(&self) -> String {
+        self.breakdown_fractions()
+            .iter()
+            .map(|(c, f)| format!("{}: {:.1}%", c.label(), f * 100.0))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_sums() {
+        let mut t = Trace::new();
+        t.record(Category::VecModOps, 2.0, "a");
+        t.record(Category::VecModOps, 3.0, "b");
+        t.record(Category::NttMatMul, 5.0, "c");
+        assert_eq!(t.total_seconds(), 10.0);
+        assert_eq!(t.seconds_of(Category::VecModOps), 5.0);
+        assert_eq!(t.breakdown()[0].1, 5.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = Trace::new();
+        t.record(Category::Permutation, 1.0, "");
+        t.record(Category::Other, 1.0, "");
+        t.record(Category::DmaHbm, 2.0, "");
+        let total: f64 = t.breakdown_fractions().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.total_seconds(), 0.0);
+        assert!(t.breakdown_fractions().is_empty());
+        assert_eq!(t.render_percentages(), "");
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Category::VecModOps.label(), "VecModOps");
+        assert_eq!(Category::CopyReshape.label(), "Copy+Reshape");
+        assert!(Category::BconvMatMul.is_mxu());
+        assert!(!Category::Permutation.is_mxu());
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: encrypt, compute, decrypt — then compile the same NTT
+//! kernel for the simulated TPU and inspect its cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cross::ckks::{CkksContext, CkksParams, Evaluator};
+use cross::core::mat::ntt3::{Ntt3Config, Ntt3Plan};
+use cross::core::modred::ModRed;
+use cross::poly::NttTables;
+use cross::tpu::{TpuGeneration, TpuSim};
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Homomorphic computation on encrypted data -----------------
+    let ctx = CkksContext::new(CkksParams::toy(), 2026);
+    let keys = ctx.generate_keys();
+    let ev = Evaluator::new(&ctx);
+
+    let xs: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 / 64.0).sin())
+        .collect();
+    let ys: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 / 64.0).cos())
+        .collect();
+
+    let ct_x = ctx.encrypt(&xs, &keys.public);
+    let ct_y = ctx.encrypt(&ys, &keys.public);
+
+    // Evaluate x·y + x under encryption.
+    let prod = ev.mult(&ct_x, &ct_y, &keys.relin);
+    let x_aligned = ev.mod_drop(&ct_x, prod.level);
+    let result = ev.add(
+        &prod,
+        &ev.rescale(&ev.mult_plain(
+            &x_aligned,
+            &ctx.encode_at(
+                &vec![1.0; ctx.slot_count()],
+                x_aligned.level,
+                ctx.params().scale(),
+            ),
+            ctx.params().scale(),
+        )),
+    );
+    let out = ctx.decrypt(&result, &keys.secret);
+
+    let max_err = xs
+        .iter()
+        .zip(&ys)
+        .zip(&out)
+        .map(|((x, y), o)| (x * y + x - o).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "homomorphic x*y + x over {} slots, max error {max_err:.2e}",
+        out.len()
+    );
+    assert!(max_err < 1e-1);
+
+    // --- 2. The same workload's core kernel, compiled for the TPU -----
+    let n = 1usize << 12;
+    let q = cross::math::primes::ntt_prime(28, n as u64, 0).unwrap();
+    let tables = Arc::new(NttTables::new(n, q));
+    let plan = Ntt3Plan::new(
+        tables,
+        Ntt3Config {
+            r: 128,
+            c: n / 128,
+            modred: ModRed::Montgomery,
+            embed_bitrev: true,
+        },
+    );
+    let mut sim = TpuSim::new(TpuGeneration::V6e);
+    sim.begin_kernel("layout-invariant 3-step NTT");
+    let coeffs: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+    let transformed = plan.forward_on_tpu(&mut sim, &coeffs);
+    let back = plan.inverse_on_tpu(&mut sim, &transformed);
+    let report = sim.end_kernel();
+    assert_eq!(back, coeffs, "NTT roundtrip on the simulated TPU");
+    println!(
+        "N=2^12 NTT+INTT on simulated TPUv6e: {:.1} us, breakdown: {}",
+        report.latency_us(),
+        report
+            .breakdown
+            .iter()
+            .map(|(c, s)| format!("{} {:.0}%", c.label(), s / report.compute_s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

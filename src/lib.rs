@@ -1,0 +1,34 @@
+//! # cross
+//!
+//! Umbrella crate for the CROSS reproduction — *Leveraging ASIC AI
+//! Chips for Homomorphic Encryption* (HPCA 2026). Re-exports the whole
+//! stack so applications can depend on a single crate:
+//!
+//! * [`math`] — modular arithmetic, primes, RNS/CRT, bignum;
+//! * [`poly`] — negacyclic rings and reference NTT engines;
+//! * [`tpu`] — the functional + analytical TPU simulator;
+//! * [`core`] — the CROSS compiler (BAT + MAT + lowering);
+//! * [`ckks`] — the RNS-CKKS scheme substrate;
+//! * [`baselines`] — GPU-style algorithms and the published dataset.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cross::ckks::{CkksContext, CkksParams, Evaluator};
+//!
+//! let ctx = CkksContext::new(CkksParams::toy(), 1);
+//! let keys = ctx.generate_keys();
+//! let ev = Evaluator::new(&ctx);
+//! let xs: Vec<f64> = (0..ctx.slot_count()).map(|i| i as f64 * 1e-3).collect();
+//! let ct = ctx.encrypt(&xs, &keys.public);
+//! let sq = ev.mult(&ct, &ct, &keys.relin); // encrypted x², relinearized + rescaled
+//! let out = ctx.decrypt(&sq, &keys.secret);
+//! assert!((out[5] - xs[5] * xs[5]).abs() < 1e-2);
+//! ```
+
+pub use cross_baselines as baselines;
+pub use cross_ckks as ckks;
+pub use cross_core as core;
+pub use cross_math as math;
+pub use cross_poly as poly;
+pub use cross_tpu as tpu;
