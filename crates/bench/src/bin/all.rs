@@ -9,11 +9,29 @@ fn main() {
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir").to_path_buf();
+    // target/<dir> name is the profile name, except dev builds land in
+    // target/debug.
+    let profile = dir
+        .file_name()
+        .and_then(|p| p.to_str())
+        .filter(|&p| p != "debug")
+        .map(str::to_owned);
     for b in bins {
         let path = dir.join(b);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Sibling not built yet (plain `cargo run --bin all` only
+            // builds this binary): have cargo build and run it.
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let mut cmd = Command::new(cargo);
+            cmd.args(["run", "-q", "-p", "cross-bench", "--bin", b]);
+            if let Some(profile) = &profile {
+                cmd.args(["--profile", profile]);
+            }
+            cmd.status()
+        };
+        let status = status.unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
         assert!(status.success(), "{b} failed");
     }
 }

@@ -129,5 +129,5 @@ fn main() {
     println!("paper: {PAPER_MNIST_MS_PER_IMAGE} ms/image (10x faster than Orion, 98% accuracy)");
     println!("\nTakeaway: sub-second per-image encrypted inference on an AI ASIC;");
     println!("absolute gap to the paper reflects the no-fusion worst-case estimate");
-    println!("both sides use (see EXPERIMENTS.md).");
+    println!("both sides use (see DESIGN.md).");
 }

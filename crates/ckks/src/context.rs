@@ -463,8 +463,8 @@ mod tests {
         let ctx = Arc::new(RnsContext::new(16, vec![268_369_921]));
         let p = RnsPoly::from_signed_coeffs(ctx, &s);
         let r = p.automorphism(5);
-        for j in 0..16 {
-            assert_eq!(r.coeff_signed_f64(j), out[j] as f64);
+        for (j, &o) in out.iter().enumerate() {
+            assert_eq!(r.coeff_signed_f64(j), o as f64);
         }
     }
 }

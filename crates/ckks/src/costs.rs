@@ -146,7 +146,7 @@ pub fn charge_automorphism_permutation(sim: &mut TpuSim, n: usize, limbs: usize)
 pub fn he_rc(n: usize) -> (usize, usize) {
     // Balanced-to-wide factorization: prefer R=256 when possible.
     for r in [256usize, 128, 512, 64, 32, 16, 8] {
-        if r <= n && n % r == 0 && n / r >= 2 {
+        if r <= n && n.is_multiple_of(r) && n / r >= 2 {
             return (r, n / r);
         }
     }

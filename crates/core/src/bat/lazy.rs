@@ -65,8 +65,8 @@ impl LazyReducer {
         let mut acc = chunk::merge(low, self.bp);
         for kk in 0..self.k {
             let mut col = 0u64;
-            for j in 0..self.k {
-                col += high[j] * self.lc[j][kk];
+            for (h, lc_row) in high.iter().zip(&self.lc) {
+                col += h * lc_row[kk];
             }
             acc += col << (kk as u32 * self.bp);
         }

@@ -66,6 +66,10 @@ pub fn carry_propagation(x: &mut Vec<Vec<u64>>, k: usize, bp: u32) {
 /// `r ≥ K` (output basis `2^{r·bp}` ≥ the modulus range) is reduced as
 /// `proj = (entry << r·bp) mod q` and its byte chunks are added back
 /// into rows `0..K` of the same column (Fig. 7 ❸).
+// Index-based loops: row `r` is read/cleared while rows `0..K` of the
+// same matrix are written, so iterator forms would fight the borrow
+// checker for no clarity gain.
+#[allow(clippy::needless_range_loop)]
 pub fn fold_high_basis(x: &mut [Vec<u64>], k: usize, bp: u32, q: u64) {
     for r in k..x.len() {
         for j in 0..k {
@@ -109,6 +113,9 @@ pub fn offline_compile_toeplitz(a: u64, k: usize, bp: u32, q: u64) -> Vec<Vec<u6
 
 /// `DIRECTSCALARBAT` (Alg. 2): the closed-form dense matrix — column
 /// `j` holds the byte chunks of `(a << j·bp) mod q`.
+// Column `j` scatters into computed rows `m[i][j]`; a range loop states
+// that directly.
+#[allow(clippy::needless_range_loop)]
 pub fn direct_scalar_bat(a: u64, k: usize, bp: u32, q: u64) -> Vec<Vec<u64>> {
     assert!(a < q, "preknown parameter must be reduced");
     let mut m = vec![vec![0u64; k]; k];

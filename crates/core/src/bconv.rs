@@ -183,15 +183,19 @@ impl BconvKernel {
     }
 
     /// Pure-CPU step-2 oracle.
+    ///
+    /// # Panics
+    /// Panics if `b` does not carry one row per source limb.
     pub fn step2_reference(&self, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(b.len(), self.l, "limb count must match source basis");
         (0..self.l_out)
             .map(|j| {
                 let pj = self.target[j];
                 (0..self.n)
                     .map(|nn| {
                         let mut acc = 0u128;
-                        for i in 0..self.l {
-                            acc += (b[i][nn] % pj) as u128 * self.m_plain[i][j] as u128;
+                        for (bi, mi) in b.iter().zip(&self.m_plain) {
+                            acc += (bi[nn] % pj) as u128 * mi[j] as u128;
                         }
                         (acc % pj as u128) as u64
                     })

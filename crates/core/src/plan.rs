@@ -16,7 +16,7 @@ pub fn rc_candidates(n: usize) -> Vec<(usize, usize)> {
     assert!(n.is_power_of_two());
     let mut out = Vec::new();
     for r in [128usize, 256, 512] {
-        if r <= n && n % r == 0 {
+        if r <= n && n.is_multiple_of(r) {
             let c = n / r;
             if c >= 2 {
                 out.push((r, c));
@@ -35,7 +35,7 @@ pub fn rc_candidates(n: usize) -> Vec<(usize, usize)> {
 /// The standalone-NTT configuration of §V-A: `R = 128` lanes,
 /// `C = N/128` (falling back to balanced for `N < 256`).
 pub fn standalone_ntt_rc(n: usize) -> (usize, usize) {
-    if n >= 256 && n % 128 == 0 {
+    if n >= 256 && n.is_multiple_of(128) {
         (128, n / 128)
     } else {
         let logn = n.trailing_zeros();

@@ -17,13 +17,13 @@ pub fn is_prime(n: u64) -> bool {
         return false;
     }
     for &p in &SMALL {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -89,9 +89,9 @@ pub fn factorize(mut m: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= m {
-        if m % d == 0 {
+        if m.is_multiple_of(d) {
             factors.push(d);
-            while m % d == 0 {
+            while m.is_multiple_of(d) {
                 m /= d;
             }
         }
@@ -124,7 +124,7 @@ pub fn primitive_root(q: u64) -> u64 {
 /// Panics if `order` does not divide `q - 1` (no such root exists).
 pub fn root_of_unity(order: u64, q: u64) -> u64 {
     assert!(
-        (q - 1) % order == 0,
+        (q - 1).is_multiple_of(order),
         "order {order} must divide q-1 = {}",
         q - 1
     );

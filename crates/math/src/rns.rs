@@ -138,9 +138,9 @@ impl RnsBasis {
             // t = (r_i - (v_0 + v_1 q_0 + ... + v_{i-1} q_0..q_{i-2})) mod q_i
             let mut partial = 0u64;
             let mut radix = 1u64 % qi;
-            for j in 0..i {
-                partial = modops::add_mod(partial, modops::mul_mod(digits[j] % qi, radix, qi), qi);
-                radix = modops::mul_mod(radix, self.moduli[j] % qi, qi);
+            for (dj, mj) in digits.iter().zip(&self.moduli).take(i) {
+                partial = modops::add_mod(partial, modops::mul_mod(dj % qi, radix, qi), qi);
+                radix = modops::mul_mod(radix, mj % qi, qi);
             }
             let r = residues[i] % qi;
             let diff = modops::sub_mod(r, partial, qi);
@@ -176,15 +176,14 @@ impl RnsBasis {
         let l = self.len();
         let mut qhat_inv = Vec::with_capacity(l);
         let mut qhat_mod_p = vec![vec![0u64; target.len()]; l];
-        for i in 0..l {
-            let qi = self.moduli[i];
+        for (row, &qi) in qhat_mod_p.iter_mut().zip(&self.moduli) {
             // q̂_i = Q / q_i as a big integer
             let (qhat, rem) = self.big_q.div_rem_u64(qi);
             debug_assert_eq!(rem, 0);
             let qhat_mod_qi = qhat.mod_u64(qi);
             qhat_inv.push(modops::inv_mod(qhat_mod_qi, qi).expect("coprime"));
-            for (j, &pj) in target.iter().enumerate() {
-                qhat_mod_p[i][j] = qhat.mod_u64(pj);
+            for (slot, &pj) in row.iter_mut().zip(target) {
+                *slot = qhat.mod_u64(pj);
             }
         }
         BconvTable {

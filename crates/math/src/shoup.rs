@@ -34,7 +34,10 @@ impl ShoupMul {
     /// # Panics
     /// Panics if `w >= q` or `q >= 2^32`.
     pub fn new(w: u64, q: u64) -> Self {
-        assert!(q >= 2 && q < (1 << 32), "CROSS targets moduli below 2^32");
+        assert!(
+            (2..(1 << 32)).contains(&q),
+            "CROSS targets moduli below 2^32"
+        );
         assert!(w < q, "the prepared constant must be reduced");
         let w_shoup = (((w as u128) << 64) / q as u128) as u64;
         Self { w, w_shoup, q }

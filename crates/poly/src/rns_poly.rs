@@ -369,8 +369,8 @@ mod tests {
                 }
             }
         }
-        for j in 0..n {
-            assert_eq!(prod.coeff_signed_f64(j), want[j] as f64, "coeff {j}");
+        for (j, &w) in want.iter().enumerate() {
+            assert_eq!(prod.coeff_signed_f64(j), w as f64, "coeff {j}");
         }
     }
 
@@ -413,8 +413,8 @@ mod tests {
                 want[e - n] -= v;
             }
         }
-        for j in 0..n {
-            assert_eq!(r.coeff_signed_f64(j), want[j] as f64, "coeff {j}");
+        for (j, &w) in want.iter().enumerate() {
+            assert_eq!(r.coeff_signed_f64(j), w as f64, "coeff {j}");
         }
     }
 

@@ -35,7 +35,7 @@ impl NttTables {
     pub fn new(n: usize, q: u64) -> Self {
         assert!(n.is_power_of_two(), "degree must be a power of two");
         assert!(
-            (q - 1) % (2 * n as u64) == 0,
+            (q - 1).is_multiple_of(2 * n as u64),
             "q must be ≡ 1 mod 2N for the negacyclic NTT"
         );
         let psi = negacyclic_psi(n as u64, q);

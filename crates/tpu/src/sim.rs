@@ -537,7 +537,7 @@ mod tests {
         let q = 268_369_921u64;
         let m = Montgomery::new(q);
         let a = vec![12345u64, q - 1, 7];
-        let b = vec![67890u64, q - 1, 11];
+        let b = [67890u64, q - 1, 11];
         let bm: Vec<u64> = b.iter().map(|&x| m.to_mont(x)).collect();
         let got = s.vec_mod_mul_montgomery(&a, &bm, &m, Category::VecModOps);
         for i in 0..a.len() {

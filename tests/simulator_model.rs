@@ -8,7 +8,7 @@ use cross::tpu::{Category, TpuGeneration, TpuSim};
 #[test]
 fn mxu_time_monotone_in_every_dimension() {
     let s = TpuSim::new(TpuGeneration::V6e);
-    let base = s.spec().clone();
+    let base = *s.spec();
     let t = |m: usize, k: usize, n: usize| {
         let sim = TpuSim::with_spec(base);
         sim.mxu_seconds(m, k, n)

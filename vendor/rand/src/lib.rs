@@ -1,0 +1,188 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the minimal surface the CROSS workspace consumes:
+//!
+//! * the [`Rng`] trait with `gen_range` over half-open and inclusive
+//!   integer ranges plus half-open `f64` ranges,
+//! * the [`SeedableRng`] trait with `seed_from_u64`,
+//! * [`rngs::StdRng`], a deterministic xoshiro256++ generator.
+//!
+//! Determinism given a seed is the only contract the workspace relies
+//! on (reproducible key generation and sampling in tests); this stub is
+//! NOT a cryptographically secure RNG and must be replaced by the real
+//! `rand` crate before any security-relevant use.
+
+/// Core source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling interface, mirroring `rand::Rng::gen_range`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to sample itself, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough uniform draw in `[0, bound)` via 128-bit widening
+/// multiply (Lemire's method without the rejection step; the bias of at
+/// most `bound / 2^64` is irrelevant for the moduli used here).
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sample range");
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeFrom<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128 + 1) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty sample range");
+        // 53 uniform mantissa bits -> [0, 1), then affine map.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Seeding interface, mirroring `rand::SeedableRng` (only the
+/// `seed_from_u64` constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (Blackman & Vigna), seeded
+    /// through splitmix64 exactly like the reference implementation.
+    ///
+    /// Stands in for `rand::rngs::StdRng`: same name, same
+    /// `seed_from_u64` entry point, but a different (still
+    /// deterministic) stream — nothing in the workspace depends on the
+    /// upstream stream values.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_003), b.gen_range(0u64..1_000_003));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-1i64..=1);
+            assert!((-1..=1).contains(&y));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_all_three_ternary_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<i64> = (0..1000).map(|_| rng.gen_range(-1i64..=1)).collect();
+        for v in [-1, 0, 1] {
+            assert!(draws.contains(&v), "missing {v}");
+        }
+    }
+}
