@@ -1,0 +1,104 @@
+//! Warn-only bench regression gate: diffs `BENCH_results.json` (written
+//! by `cargo bench -p cross-bench` via the criterion stub) against the
+//! checked-in `BENCH_baseline.json`.
+//!
+//! Always exits 0 — the stub's fixed-window measurements on shared CI
+//! runners are indicative, not statistically sound, so regressions are
+//! surfaced as warnings for a human to judge (ROADMAP "bench baselines
+//! in CI"). It also re-checks the batching claim: every
+//! `batched_ntt/*_fused/*` entry must beat its `*_sequential/*`
+//! counterpart.
+
+use criterion::results;
+use cross_bench::banner;
+
+/// Slowdown factor beyond which a warning is emitted.
+const WARN_RATIO: f64 = 1.5;
+
+fn main() {
+    banner("Bench diff: results vs checked-in baseline (warn-only)");
+    let results_path = results::path();
+    let results = match std::fs::read_to_string(&results_path) {
+        Ok(t) => results::parse(&t),
+        Err(e) => {
+            println!(
+                "WARN: no {} ({e}); run `cargo bench -p cross-bench` first",
+                results_path.display()
+            );
+            return;
+        }
+    };
+    // The baseline lives next to the results artifact (workspace root),
+    // so the tool works from any subdirectory.
+    let baseline_path = results_path
+        .parent()
+        .map(|d| d.join("BENCH_baseline.json"))
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => results::parse(&t),
+        Err(e) => {
+            println!(
+                "WARN: no {} ({e}); every kernel will be reported as new",
+                baseline_path.display()
+            );
+            Default::default()
+        }
+    };
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "kernel", "ns/iter", "baseline", "ratio"
+    );
+    let mut warnings = 0usize;
+    for (label, &ns) in &results {
+        match baseline.get(label) {
+            Some(&base) if base > 0.0 => {
+                let ratio = ns / base;
+                let flag = if ratio > WARN_RATIO {
+                    warnings += 1;
+                    "  << WARN"
+                } else {
+                    ""
+                };
+                println!("{label:<44} {ns:>12.1} {base:>12.1} {ratio:>7.2}x{flag}");
+            }
+            _ => println!("{label:<44} {ns:>12.1} {:>12} {:>8}", "-", "new"),
+        }
+    }
+    for label in baseline.keys() {
+        if !results.contains_key(label) {
+            println!("{label:<44} {:>12} (baseline entry not re-measured)", "-");
+        }
+    }
+
+    // The batching claim: fused beats sequential for every pair.
+    for (label, &ns) in &results {
+        if let Some(seq_label) = label.find("_fused/").map(|i| {
+            format!(
+                "{}_sequential/{}",
+                &label[..i],
+                &label[i + "_fused/".len()..]
+            )
+        }) {
+            if let Some(&seq_ns) = results.get(&seq_label) {
+                if ns < seq_ns {
+                    println!(
+                        "OK: {label} ({ns:.0} ns) beats {seq_label} ({seq_ns:.0} ns), {:.2}x",
+                        seq_ns / ns
+                    );
+                } else {
+                    warnings += 1;
+                    println!(
+                        "WARN: {label} ({ns:.0} ns) did NOT beat {seq_label} ({seq_ns:.0} ns)"
+                    );
+                }
+            }
+        }
+    }
+
+    if warnings > 0 {
+        println!("\n{warnings} warning(s) — indicative only, not failing the build");
+    } else {
+        println!("\nno regressions vs baseline");
+    }
+}

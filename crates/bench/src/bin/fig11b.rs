@@ -1,28 +1,78 @@
 //! Fig. 11b: impact of NTT batch size on throughput (one v6e TC).
+//!
+//! Driven by the *real* batched pipeline: each parameter set compiles
+//! its standalone-NTT [`Ntt3Plan`] and the sweep charges
+//! [`Ntt3Plan::charge_forward_batch`] — the exact shapes
+//! `forward_batch_on_tpu` executes (one fused step-1 matmul over
+//! `C·batch` streamed columns, tiled step-2 twiddles, relayout, one
+//! fused step-3 matmul) — instead of hand-multiplied cost formulas.
+//! The functional/charged agreement is asserted here at `N = 2^12`
+//! before the sweep runs.
 
 use cross_bench::banner;
-use cross_ckks::costs;
 use cross_ckks::params::ParamSet;
-use cross_tpu::{Category, TpuGeneration, TpuSim};
+use cross_core::mat::ntt3::{Ntt3Config, Ntt3Plan};
+use cross_core::modred::ModRed;
+use cross_core::plan::standalone_ntt_rc;
+use cross_math::primes;
+use cross_poly::NttTables;
+use cross_tpu::{TpuGeneration, TpuSim};
+use std::sync::Arc;
 
-fn throughput(n: usize, limbs: usize, batch: usize) -> f64 {
-    let (r, c) = cross_core::plan::standalone_ntt_rc(n);
+fn compile_plan(n: usize) -> Ntt3Plan {
+    let (r, c) = standalone_ntt_rc(n);
+    let q = primes::ntt_prime(28, n as u64, 0).expect("NTT prime");
+    Ntt3Plan::new(
+        Arc::new(NttTables::new(n, q)),
+        Ntt3Config {
+            r,
+            c,
+            modred: ModRed::Montgomery,
+            embed_bitrev: true,
+        },
+    )
+}
+
+/// Simulated #NTT/s of one fused batch kernel (includes parameter DMA,
+/// batch I/O streaming and working-set spill, per the plan's model).
+fn throughput(plan: &Ntt3Plan, batch: usize) -> f64 {
     let mut sim = TpuSim::new(TpuGeneration::V6e);
     sim.begin_kernel("ntt");
-    costs::charge_ntt_params(&mut sim, r, c);
-    sim.dma_in((batch * n * 4) as f64, "in");
-    sim.dma_out((batch * n * 4) as f64, "out");
-    costs::charge_ntt_batch(&mut sim, r, c, batch, Category::NttMatMul);
-    // live working set: u32 in/out/temp (12 B) + chunk forms (2K B) +
-    // u32 psums (4K B) per element, plus twiddles.
-    let ws = (batch * n * 48) as f64 + (16 * r * r + 16 * c * c) as f64 + (limbs * n * 4) as f64;
-    sim.spill_check(ws, 1);
+    plan.charge_forward_batch(&mut sim, batch);
     let rep = sim.end_kernel();
     batch as f64 / rep.latency_s
 }
 
+/// Functional check: the fused batched kernel is bit-exact with the
+/// sequential loop and its charges match the sweep's cost path.
+fn verify_functional(n: usize, batch: usize) {
+    let plan = compile_plan(n);
+    let q = plan.tables().q();
+    let a: Vec<u64> = (0..(batch * n) as u64)
+        .map(|i| (i * 2654435761 + 19) % q)
+        .collect();
+    let mut s_fused = TpuSim::new(TpuGeneration::V6e);
+    let fused = plan.forward_batch_on_tpu(&mut s_fused, &a, batch);
+    let mut s_loop = TpuSim::new(TpuGeneration::V6e);
+    let looped: Vec<u64> = a
+        .chunks(n)
+        .flat_map(|p| plan.forward_on_tpu(&mut s_loop, p))
+        .collect();
+    assert_eq!(fused, looped, "fused batch != sequential loop");
+    let mut s_charge = TpuSim::new(TpuGeneration::V6e);
+    plan.charge_forward_batch(&mut s_charge, batch);
+    let d = (s_fused.compute_seconds() - s_charge.compute_seconds()).abs();
+    assert!(d < 1e-12, "charge/functional compute drift {d}");
+    println!(
+        "verified at N={n}, batch={batch}: fused batched kernel bit-exact with the \
+         sequential loop; charged compute == functional compute"
+    );
+}
+
 fn main() {
     banner("Fig. 11b: normalized #NTT/s vs batch size (one v6e TC)");
+    verify_functional(1 << 12, 8);
+    println!();
     println!(
         "{:>6} | {}",
         "batch",
@@ -32,20 +82,17 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     );
+    let plans: Vec<Ntt3Plan> = ParamSet::ALL
+        .iter()
+        .map(|s| compile_plan(s.params().n))
+        .collect();
     let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let mut peaks = vec![(0usize, 0.0f64); ParamSet::ALL.len()];
-    let base: Vec<f64> = ParamSet::ALL
-        .iter()
-        .map(|s| {
-            let p = s.params();
-            throughput(p.n, p.limbs, 1)
-        })
-        .collect();
+    let base: Vec<f64> = plans.iter().map(|p| throughput(p, 1)).collect();
     for &b in &batches {
         let mut row = format!("{b:>6} |");
-        for (i, s) in ParamSet::ALL.iter().enumerate() {
-            let p = s.params();
-            let t = throughput(p.n, p.limbs, b);
+        for (i, plan) in plans.iter().enumerate() {
+            let t = throughput(plan, b);
             if t > peaks[i].1 {
                 peaks[i] = (b, t);
             }
@@ -57,11 +104,10 @@ fn main() {
     for (i, s) in ParamSet::ALL.iter().enumerate() {
         // Knee = smallest batch reaching 95 % of peak throughput (the
         // curve flattens once parameter loads are amortized).
-        let p = s.params();
         let knee = batches
             .iter()
             .copied()
-            .find(|&b| throughput(p.n, p.limbs, b) >= 0.95 * peaks[i].1)
+            .find(|&b| throughput(&plans[i], b) >= 0.95 * peaks[i].1)
             .unwrap_or(peaks[i].0);
         println!(
             "{}: knee at batch {} (peak {}), {:.1}x gain over batch 1 (paper optima: 32/16/16/8 with 7.7x/2.9x/1.5x/1.4x)",

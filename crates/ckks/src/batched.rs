@@ -1,0 +1,475 @@
+//! Batched homomorphic evaluation — first-class batch execution from
+//! the ciphertext API down (paper Fig. 11b, §V-A).
+//!
+//! A [`BatchedCiphertext`] packs `B` same-level ciphertexts into two
+//! batch-major [`PolyBatch`]es, so every lowered kernel underneath —
+//! NTT matmuls, BConv inner products, VecModOps — runs once over the
+//! fused `batch` dimension instead of once per ciphertext. Scales stay
+//! per-entry (CKKS tracks them approximately), level is shared.
+//!
+//! Every batched operator is **bit-exact** with the corresponding
+//! sequential loop over [`Evaluator`]'s single-ciphertext methods: the
+//! batch-major layout only changes where residues live, never what is
+//! computed on them. The workspace-level property tests
+//! (`tests/batched_equivalence.rs`) pin this down per operator.
+
+use crate::ciphertext::Ciphertext;
+use crate::eval::Evaluator;
+use crate::keys::SwitchingKey;
+use cross_core::bconv::BconvKernel;
+use cross_core::modred::ModRed;
+use cross_math::modops;
+use cross_math::rns::RnsBasis;
+use cross_poly::ring::Domain;
+use cross_poly::rns_poly::RnsPoly;
+use cross_poly::PolyBatch;
+
+/// A batch of same-level CKKS ciphertexts in batch-major layout.
+#[derive(Debug, Clone)]
+pub struct BatchedCiphertext {
+    /// Constant components, batch-major.
+    pub c0: PolyBatch,
+    /// Linear components, batch-major.
+    pub c1: PolyBatch,
+    /// Shared level (remaining limbs).
+    pub level: usize,
+    /// Per-entry encoding scales `Δ_b`.
+    pub scales: Vec<f64>,
+}
+
+impl BatchedCiphertext {
+    /// Gathers same-level ciphertexts into one batch.
+    ///
+    /// # Panics
+    /// Panics if `cts` is empty or levels diverge.
+    pub fn from_ciphertexts(cts: &[Ciphertext]) -> Self {
+        assert!(!cts.is_empty(), "batch must be non-empty");
+        let level = cts[0].level;
+        assert!(
+            cts.iter().all(|c| c.level == level),
+            "ciphertexts must share a level (mod_drop first)"
+        );
+        let c0s: Vec<RnsPoly> = cts.iter().map(|c| c.c0.clone()).collect();
+        let c1s: Vec<RnsPoly> = cts.iter().map(|c| c.c1.clone()).collect();
+        Self {
+            c0: PolyBatch::from_polys(&c0s),
+            c1: PolyBatch::from_polys(&c1s),
+            level,
+            scales: cts.iter().map(|c| c.scale).collect(),
+        }
+    }
+
+    /// Scatters the batch back into independent ciphertexts.
+    pub fn to_ciphertexts(&self) -> Vec<Ciphertext> {
+        self.c0
+            .to_polys()
+            .into_iter()
+            .zip(self.c1.to_polys())
+            .zip(&self.scales)
+            .map(|((c0, c1), &scale)| Ciphertext {
+                c0,
+                c1,
+                level: self.level,
+                scale,
+            })
+            .collect()
+    }
+
+    /// Number of ciphertexts in the batch.
+    pub fn batch(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.c0.context().n()
+    }
+
+    /// Total ciphertext bytes (2 polys × batch × level × N × 4).
+    pub fn bytes(&self) -> usize {
+        2 * self.batch() * self.level * self.n() * 4
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Batched modulus drop to `level` (scales unchanged).
+    pub fn mod_drop_batch(&self, ct: &BatchedCiphertext, level: usize) -> BatchedCiphertext {
+        assert!(level >= 1 && level <= ct.level, "cannot raise levels");
+        if level == ct.level {
+            return ct.clone();
+        }
+        let new_ctx = self.context().level_ctx(level).clone();
+        BatchedCiphertext {
+            c0: ct.c0.truncate_to(new_ctx.clone()),
+            c1: ct.c1.truncate_to(new_ctx),
+            level,
+            scales: ct.scales.clone(),
+        }
+    }
+
+    fn align_batch(
+        &self,
+        a: &BatchedCiphertext,
+        b: &BatchedCiphertext,
+    ) -> (BatchedCiphertext, BatchedCiphertext) {
+        assert_eq!(a.batch(), b.batch(), "batch size mismatch");
+        let level = a.level.min(b.level);
+        (self.mod_drop_batch(a, level), self.mod_drop_batch(b, level))
+    }
+
+    /// Batched HE-Add.
+    ///
+    /// # Panics
+    /// Panics on per-entry scale mismatch beyond the 1 % CKKS drift
+    /// tolerance (same contract as [`Evaluator::add`]).
+    pub fn add_batch(&self, a: &BatchedCiphertext, b: &BatchedCiphertext) -> BatchedCiphertext {
+        let (a, b) = self.align_batch(a, b);
+        for (sa, sb) in a.scales.iter().zip(&b.scales) {
+            assert!((sa / sb - 1.0).abs() < 1e-2, "scale mismatch: {sa} vs {sb}");
+        }
+        BatchedCiphertext {
+            c0: a.c0.add(&b.c0),
+            c1: a.c1.add(&b.c1),
+            level: a.level,
+            scales: a.scales.clone(),
+        }
+    }
+
+    /// Batched HE-Mult: fused tensor products, one batched key switch,
+    /// one batched rescale. Bit-exact with looping [`Evaluator::mult`].
+    pub fn mult_batch(
+        &self,
+        a: &BatchedCiphertext,
+        b: &BatchedCiphertext,
+        relin: &SwitchingKey,
+    ) -> BatchedCiphertext {
+        let (a, b) = self.align_batch(a, b);
+        let d0 = a.c0.mul_pointwise(&b.c0);
+        let d1 = a.c0.mul_pointwise(&b.c1).add(&a.c1.mul_pointwise(&b.c0));
+        let d2 = a.c1.mul_pointwise(&b.c1);
+        let (k0, k1) = self.key_switch_batch(&d2, relin);
+        let ct = BatchedCiphertext {
+            c0: d0.add(&k0),
+            c1: d1.add(&k1),
+            level: a.level,
+            scales: a
+                .scales
+                .iter()
+                .zip(&b.scales)
+                .map(|(sa, sb)| sa * sb)
+                .collect(),
+        };
+        self.rescale_batch(&ct)
+    }
+
+    /// Batched rescale: one fused INTT/NTT pair per limb across the
+    /// whole batch. Bit-exact with looping [`Evaluator::rescale`].
+    ///
+    /// # Panics
+    /// Panics at level 1 (no limb left to drop).
+    pub fn rescale_batch(&self, ct: &BatchedCiphertext) -> BatchedCiphertext {
+        assert!(ct.level >= 2, "cannot rescale at level 1");
+        let l = ct.level;
+        let batch = ct.batch();
+        let q_last = self.context().q_moduli()[l - 1];
+        let new_ctx = self.context().level_ctx(l - 1).clone();
+        let rescale_pb = |p: &PolyBatch| -> PolyBatch {
+            let mut c = p.clone();
+            c.to_coefficient();
+            let last = c.limbs()[l - 1].clone();
+            let mut new_limbs = Vec::with_capacity(l - 1);
+            for i in 0..l - 1 {
+                let qi = new_ctx.moduli()[i];
+                let inv = modops::inv_mod(q_last % qi, qi).expect("coprime chain");
+                let limb: Vec<u64> = c.limbs()[i]
+                    .iter()
+                    .zip(&last)
+                    .map(|(&ci, &cl)| {
+                        // centered last-limb residue for round-to-nearest
+                        let centered = modops::to_signed(cl, q_last);
+                        let cl_i = modops::from_signed(centered, qi);
+                        modops::mul_mod(modops::sub_mod(ci, cl_i, qi), inv, qi)
+                    })
+                    .collect();
+                new_limbs.push(limb);
+            }
+            let mut out =
+                PolyBatch::from_limbs(new_ctx.clone(), batch, new_limbs, Domain::Coefficient);
+            out.to_evaluation();
+            out
+        };
+        BatchedCiphertext {
+            c0: rescale_pb(&ct.c0),
+            c1: rescale_pb(&ct.c1),
+            level: l - 1,
+            scales: ct.scales.iter().map(|s| s / q_last as f64).collect(),
+        }
+    }
+
+    /// Batched HE-Rotate by `steps` slots: one fused automorphism pass
+    /// and one batched key switch. Bit-exact with looping
+    /// [`Evaluator::rotate`].
+    pub fn rotate_batch(
+        &self,
+        ct: &BatchedCiphertext,
+        steps: usize,
+        rot_key: &SwitchingKey,
+    ) -> BatchedCiphertext {
+        let g = self.context().galois_element(steps);
+        let mut c0 = ct.c0.clone();
+        let mut c1 = ct.c1.clone();
+        c0.to_coefficient();
+        c1.to_coefficient();
+        let mut c0r = c0.automorphism(g);
+        let mut c1r = c1.automorphism(g);
+        c0r.to_evaluation();
+        c1r.to_evaluation();
+        let (k0, k1) = self.key_switch_batch(&c1r, rot_key);
+        BatchedCiphertext {
+            c0: c0r.add(&k0),
+            c1: k1,
+            level: ct.level,
+            scales: ct.scales.clone(),
+        }
+    }
+
+    /// Batched hybrid key switching: digit decomposition, fast base
+    /// extension and the key inner products all run over the fused
+    /// `batch · N` rows (the BConv matmul sees `N·batch` streamed rows,
+    /// the key limbs broadcast across the batch). Bit-exact with
+    /// looping [`Evaluator::key_switch`].
+    pub fn key_switch_batch(&self, d: &PolyBatch, key: &SwitchingKey) -> (PolyBatch, PolyBatch) {
+        let ctx = self.context();
+        let l = d.level_count();
+        let batch = d.batch();
+        let n = ctx.params().n;
+        let ks_ctx = ctx.ks_ctx(l).clone();
+        let qs: Vec<u64> = ctx.q_moduli()[..l].to_vec();
+        let ps: Vec<u64> = ctx.p_moduli().to_vec();
+        let big_l = ctx.params().limbs;
+
+        let mut d_coeff = d.clone();
+        d_coeff.to_coefficient();
+
+        let mut acc0 = PolyBatch::zero_evaluation(ks_ctx.clone(), batch);
+        let mut acc1 = acc0.clone();
+
+        for j in 0..ctx.digit_count(l) {
+            let range = ctx.digit_range(j, l);
+            let digit_moduli: Vec<u64> = qs[range.clone()].to_vec();
+            // target moduli: all level moduli outside the digit, then P.
+            let mut other: Vec<u64> = Vec::new();
+            let mut other_idx: Vec<usize> = Vec::new();
+            for (i, &q) in qs.iter().enumerate() {
+                if !range.contains(&i) {
+                    other.push(q);
+                    other_idx.push(i);
+                }
+            }
+            for (pi, &p) in ps.iter().enumerate() {
+                other.push(p);
+                other_idx.push(l + pi);
+            }
+            // fast base extension of the digit, all batch rows fused
+            let digit_limbs: Vec<Vec<u64>> =
+                range.clone().map(|i| d_coeff.limbs()[i].clone()).collect();
+            let converted: Vec<Vec<u64>> = if other.is_empty() {
+                Vec::new()
+            } else {
+                let table = RnsBasis::new(digit_moduli.clone()).bconv_table(&other);
+                let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
+                kernel.convert_reference(&digit_limbs)
+            };
+            // assemble the extended batch over the ks chain
+            let mut ext_limbs: Vec<Vec<u64>> = vec![Vec::new(); l + ps.len()];
+            for (offset, i) in range.clone().enumerate() {
+                ext_limbs[i] = digit_limbs[offset].clone();
+            }
+            for (ci, &target_slot) in other_idx.iter().enumerate() {
+                ext_limbs[target_slot] = converted[ci].clone();
+            }
+            let mut ext =
+                PolyBatch::from_limbs(ks_ctx.clone(), batch, ext_limbs, Domain::Coefficient);
+            ext.to_evaluation();
+            // select the key limbs for this level: q indices 0..l plus
+            // the extension indices big_l..big_l+k of the global chain.
+            let select = |limbs: &[Vec<u64>]| -> Vec<Vec<u64>> {
+                let mut out: Vec<Vec<u64>> = limbs[..l].to_vec();
+                out.extend_from_slice(&limbs[big_l..big_l + ps.len()]);
+                out
+            };
+            let kb =
+                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].b), Domain::Evaluation);
+            let ka =
+                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].a), Domain::Evaluation);
+            acc0 = acc0.add(&ext.mul_pointwise_poly(&kb));
+            acc1 = acc1.add(&ext.mul_pointwise_poly(&ka));
+        }
+        (self.mod_down_batch(&acc0, l), self.mod_down_batch(&acc1, l))
+    }
+
+    /// Divides an extended (`Q_l·P`) batch by `P`, returning a
+    /// level-`l` batch (evaluation domain).
+    fn mod_down_batch(&self, c: &PolyBatch, l: usize) -> PolyBatch {
+        let ctx = self.context();
+        let n = ctx.params().n;
+        let batch = c.batch();
+        let qs: Vec<u64> = ctx.q_moduli()[..l].to_vec();
+        let ps: Vec<u64> = ctx.p_moduli().to_vec();
+        let level_ctx = ctx.level_ctx(l).clone();
+        let mut cc = c.clone();
+        cc.to_coefficient();
+        let p_limbs: Vec<Vec<u64>> = cc.limbs()[l..].to_vec();
+        let table = RnsBasis::new(ps.clone()).bconv_table(&qs);
+        let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
+        let cp = kernel.convert_reference(&p_limbs);
+        let big_p = ctx.big_p();
+        let mut new_limbs = Vec::with_capacity(l);
+        for (i, &qi) in qs.iter().enumerate() {
+            let p_inv = modops::inv_mod(big_p.mod_u64(qi), qi).expect("coprime");
+            let limb: Vec<u64> = cc.limbs()[i]
+                .iter()
+                .zip(&cp[i])
+                .map(|(&ci, &cpi)| modops::mul_mod(modops::sub_mod(ci, cpi % qi, qi), p_inv, qi))
+                .collect();
+            new_limbs.push(limb);
+        }
+        let mut out = PolyBatch::from_limbs(level_ctx, batch, new_limbs, Domain::Coefficient);
+        out.to_evaluation();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::params::CkksParams;
+
+    fn setup() -> (CkksContext, crate::keys::KeyPair) {
+        let ctx = CkksContext::new(CkksParams::toy(), 99);
+        let kp = ctx.generate_keys();
+        (ctx, kp)
+    }
+
+    fn messages(ctx: &CkksContext, batch: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..batch)
+            .map(|b| {
+                (0..ctx.slot_count())
+                    .map(|i| 0.4 + ((i + b) as f64 * phase).sin() * 0.3)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn limbs_eq(a: &Ciphertext, b: &Ciphertext) -> bool {
+        a.c0.limbs() == b.c0.limbs() && a.c1.limbs() == b.c1.limbs() && a.level == b.level
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let (ctx, kp) = setup();
+        let cts: Vec<Ciphertext> = messages(&ctx, 3, 0.21)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let bc = BatchedCiphertext::from_ciphertexts(&cts);
+        assert_eq!(bc.batch(), 3);
+        assert_eq!(bc.bytes(), cts.iter().map(|c| c.bytes()).sum::<usize>());
+        for (orig, back) in cts.iter().zip(bc.to_ciphertexts()) {
+            assert!(limbs_eq(orig, &back));
+            assert_eq!(orig.scale, back.scale);
+        }
+    }
+
+    #[test]
+    fn mult_batch_bit_exact_with_sequential() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let xs: Vec<Ciphertext> = messages(&ctx, 3, 0.17)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let ys: Vec<Ciphertext> = messages(&ctx, 3, 0.31)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let got = ev
+            .mult_batch(
+                &BatchedCiphertext::from_ciphertexts(&xs),
+                &BatchedCiphertext::from_ciphertexts(&ys),
+                &kp.relin,
+            )
+            .to_ciphertexts();
+        for b in 0..3 {
+            let want = ev.mult(&xs[b], &ys[b], &kp.relin);
+            assert!(limbs_eq(&got[b], &want), "entry {b}");
+            assert_eq!(got[b].scale, want.scale, "entry {b} scale");
+        }
+    }
+
+    #[test]
+    fn rotate_batch_bit_exact_with_sequential() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let rk = ctx.generate_rotation_key(&kp.secret, 1);
+        let cts: Vec<Ciphertext> = messages(&ctx, 4, 0.13)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let got = ev
+            .rotate_batch(&BatchedCiphertext::from_ciphertexts(&cts), 1, &rk)
+            .to_ciphertexts();
+        for (b, ct) in cts.iter().enumerate() {
+            assert!(limbs_eq(&got[b], &ev.rotate(ct, 1, &rk)), "entry {b}");
+        }
+    }
+
+    #[test]
+    fn rescale_and_mod_drop_batch_bit_exact() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let cts: Vec<Ciphertext> = messages(&ctx, 2, 0.23)
+            .iter()
+            .map(|m| {
+                let ct = ctx.encrypt(m, &kp.public);
+                let pt = ctx.encode_at(m, ct.level, ctx.params().scale());
+                ev.mult_plain(&ct, &pt, ctx.params().scale())
+            })
+            .collect();
+        let bc = BatchedCiphertext::from_ciphertexts(&cts);
+        let rescaled = ev.rescale_batch(&bc).to_ciphertexts();
+        let dropped = ev.mod_drop_batch(&bc, 2).to_ciphertexts();
+        for (b, ct) in cts.iter().enumerate() {
+            assert!(limbs_eq(&rescaled[b], &ev.rescale(ct)), "rescale {b}");
+            assert!(limbs_eq(&dropped[b], &ev.mod_drop(ct, 2)), "drop {b}");
+        }
+    }
+
+    #[test]
+    fn add_batch_decrypts_to_sums() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let ms = messages(&ctx, 2, 0.19);
+        let cts: Vec<Ciphertext> = ms.iter().map(|m| ctx.encrypt(m, &kp.public)).collect();
+        let bc = BatchedCiphertext::from_ciphertexts(&cts);
+        let sum = ev.add_batch(&bc, &bc).to_ciphertexts();
+        for (b, m) in ms.iter().enumerate() {
+            let got = ctx.decrypt(&sum[b], &kp.secret);
+            for (i, &v) in m.iter().enumerate() {
+                assert!((got[i] - 2.0 * v).abs() < 1e-2, "entry {b} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a level")]
+    fn mixed_levels_rejected() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let m = messages(&ctx, 1, 0.11).remove(0);
+        let a = ctx.encrypt(&m, &kp.public);
+        let b = ev.mod_drop(&a, a.level - 1);
+        let _ = BatchedCiphertext::from_ciphertexts(&[a, b]);
+    }
+}

@@ -1,15 +1,12 @@
 //! Homomorphic evaluation: the four backbone HE operators of the paper
 //! (HE-Add, HE-Mult, Rescale, Rotate) plus hybrid key switching.
 
+use crate::batched::BatchedCiphertext;
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
 use crate::keys::SwitchingKey;
-use cross_core::bconv::BconvKernel;
-use cross_core::modred::ModRed;
-use cross_math::modops;
-use cross_math::rns::RnsBasis;
-use cross_poly::ring::Domain;
 use cross_poly::rns_poly::RnsPoly;
+use cross_poly::PolyBatch;
 
 /// Homomorphic operator implementations over a [`CkksContext`].
 #[derive(Debug, Clone, Copy)]
@@ -23,23 +20,24 @@ impl<'a> Evaluator<'a> {
         Self { ctx }
     }
 
+    /// The bound context (crate-internal, for the batched operators).
+    pub(crate) fn context(&self) -> &'a CkksContext {
+        self.ctx
+    }
+
     /// Drops ciphertext limbs down to `level` (plain modulus reduction;
-    /// scale is unchanged).
+    /// scale is unchanged). Truncates straight to the target level's
+    /// context — one allocation per polynomial regardless of how many
+    /// levels are dropped.
     pub fn mod_drop(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
         assert!(level >= 1 && level <= ct.level, "cannot raise levels");
         if level == ct.level {
             return ct.clone();
         }
-        let mut c0 = ct.c0.clone();
-        let mut c1 = ct.c1.clone();
-        for l in (level..ct.level).rev() {
-            let new_ctx = self.ctx.level_ctx(l).clone();
-            c0 = c0.drop_last_limb(new_ctx.clone());
-            c1 = c1.drop_last_limb(new_ctx);
-        }
+        let new_ctx = self.ctx.level_ctx(level).clone();
         Ciphertext {
-            c0,
-            c1,
+            c0: ct.c0.truncate_to(new_ctx.clone()),
+            c1: ct.c1.truncate_to(new_ctx),
             level,
             scale: ct.scale,
         }
@@ -155,45 +153,14 @@ impl<'a> Evaluator<'a> {
 
     /// Rescale: divides by the last modulus and drops one limb
     /// (`1 INTT + (l-1) NTT` worth of domain conversions — the kernel
-    /// mix of paper Fig. 14).
+    /// mix of paper Fig. 14). Delegates to the batch-1 case of
+    /// [`Evaluator::rescale_batch`], which owns the arithmetic.
     ///
     /// # Panics
     /// Panics at level 1 (no limb left to drop).
     pub fn rescale(&self, ct: &Ciphertext) -> Ciphertext {
-        assert!(ct.level >= 2, "cannot rescale at level 1");
-        let l = ct.level;
-        let q_last = self.ctx.q_moduli()[l - 1];
-        let new_ctx = self.ctx.level_ctx(l - 1).clone();
-        let rescale_poly = |p: &RnsPoly| -> RnsPoly {
-            let mut c = p.clone();
-            c.to_coefficient();
-            let last = c.limbs()[l - 1].clone();
-            let mut new_limbs = Vec::with_capacity(l - 1);
-            for i in 0..l - 1 {
-                let qi = new_ctx.moduli()[i];
-                let inv = modops::inv_mod(q_last % qi, qi).expect("coprime chain");
-                let limb: Vec<u64> = c.limbs()[i]
-                    .iter()
-                    .zip(&last)
-                    .map(|(&ci, &cl)| {
-                        // centered last-limb residue for round-to-nearest
-                        let centered = modops::to_signed(cl, q_last);
-                        let cl_i = modops::from_signed(centered, qi);
-                        modops::mul_mod(modops::sub_mod(ci, cl_i, qi), inv, qi)
-                    })
-                    .collect();
-                new_limbs.push(limb);
-            }
-            let mut out = RnsPoly::from_limbs(new_ctx.clone(), new_limbs, Domain::Coefficient);
-            out.to_evaluation();
-            out
-        };
-        Ciphertext {
-            c0: rescale_poly(&ct.c0),
-            c1: rescale_poly(&ct.c1),
-            level: l - 1,
-            scale: ct.scale / q_last as f64,
-        }
+        let batch = BatchedCiphertext::from_ciphertexts(std::slice::from_ref(ct));
+        self.rescale_batch(&batch).to_ciphertexts().remove(0)
     }
 
     /// HE-Rotate by `steps` slots (Galois automorphism + key switch).
@@ -240,102 +207,12 @@ impl<'a> Evaluator<'a> {
     /// Hybrid key switching (paper [37]): digit-decomposes `d`,
     /// base-extends each digit to `Q_l·P`, inner-products with the key
     /// digits, and divides by `P`. Returns `(out0, out1)` with
-    /// `out0 + out1·s ≈ d·s'`.
+    /// `out0 + out1·s ≈ d·s'`. Delegates to the batch-1 case of
+    /// [`Evaluator::key_switch_batch`], which owns the arithmetic.
     pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey) -> (RnsPoly, RnsPoly) {
-        let l = d.level_count();
-        let n = self.ctx.params().n;
-        let ks_ctx = self.ctx.ks_ctx(l).clone();
-        let qs: Vec<u64> = self.ctx.q_moduli()[..l].to_vec();
-        let ps: Vec<u64> = self.ctx.p_moduli().to_vec();
-        let big_l = self.ctx.params().limbs;
-
-        let mut d_coeff = d.clone();
-        d_coeff.to_coefficient();
-
-        let mut acc0 = RnsPoly::zero(ks_ctx.clone());
-        acc0.to_evaluation();
-        let mut acc1 = acc0.clone();
-
-        for j in 0..self.ctx.digit_count(l) {
-            let range = self.ctx.digit_range(j, l);
-            let digit_moduli: Vec<u64> = qs[range.clone()].to_vec();
-            // target moduli: all level moduli outside the digit, then P.
-            let mut other: Vec<u64> = Vec::new();
-            let mut other_idx: Vec<usize> = Vec::new();
-            for (i, &q) in qs.iter().enumerate() {
-                if !range.contains(&i) {
-                    other.push(q);
-                    other_idx.push(i);
-                }
-            }
-            for (pi, &p) in ps.iter().enumerate() {
-                other.push(p);
-                other_idx.push(l + pi);
-            }
-            // fast base extension of the digit
-            let digit_limbs: Vec<Vec<u64>> =
-                range.clone().map(|i| d_coeff.limbs()[i].clone()).collect();
-            let converted: Vec<Vec<u64>> = if other.is_empty() {
-                Vec::new()
-            } else {
-                let table = RnsBasis::new(digit_moduli.clone()).bconv_table(&other);
-                let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
-                kernel.convert_reference(&digit_limbs)
-            };
-            // assemble the extended polynomial over the ks chain
-            let mut ext_limbs: Vec<Vec<u64>> = vec![Vec::new(); l + ps.len()];
-            for (offset, i) in range.clone().enumerate() {
-                ext_limbs[i] = digit_limbs[offset].clone();
-            }
-            for (ci, &target_slot) in other_idx.iter().enumerate() {
-                ext_limbs[target_slot] = converted[ci].clone();
-            }
-            let mut ext = RnsPoly::from_limbs(ks_ctx.clone(), ext_limbs, Domain::Coefficient);
-            ext.to_evaluation();
-            // select the key limbs for this level: q indices 0..l plus
-            // the extension indices big_l..big_l+k of the global chain.
-            let select = |limbs: &[Vec<u64>]| -> Vec<Vec<u64>> {
-                let mut out: Vec<Vec<u64>> = limbs[..l].to_vec();
-                out.extend_from_slice(&limbs[big_l..big_l + ps.len()]);
-                out
-            };
-            let kb =
-                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].b), Domain::Evaluation);
-            let ka =
-                RnsPoly::from_limbs(ks_ctx.clone(), select(&key.digits[j].a), Domain::Evaluation);
-            acc0 = acc0.add(&ext.mul_pointwise(&kb));
-            acc1 = acc1.add(&ext.mul_pointwise(&ka));
-        }
-        (self.mod_down(&acc0, l), self.mod_down(&acc1, l))
-    }
-
-    /// Divides an extended (`Q_l·P`) polynomial by `P`, returning a
-    /// level-`l` polynomial (evaluation domain).
-    fn mod_down(&self, c: &RnsPoly, l: usize) -> RnsPoly {
-        let n = self.ctx.params().n;
-        let qs: Vec<u64> = self.ctx.q_moduli()[..l].to_vec();
-        let ps: Vec<u64> = self.ctx.p_moduli().to_vec();
-        let level_ctx = self.ctx.level_ctx(l).clone();
-        let mut cc = c.clone();
-        cc.to_coefficient();
-        let p_limbs: Vec<Vec<u64>> = cc.limbs()[l..].to_vec();
-        let table = RnsBasis::new(ps.clone()).bconv_table(&qs);
-        let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
-        let cp = kernel.convert_reference(&p_limbs);
-        let big_p = self.ctx.big_p();
-        let mut new_limbs = Vec::with_capacity(l);
-        for (i, &qi) in qs.iter().enumerate() {
-            let p_inv = modops::inv_mod(big_p.mod_u64(qi), qi).expect("coprime");
-            let limb: Vec<u64> = cc.limbs()[i]
-                .iter()
-                .zip(&cp[i])
-                .map(|(&ci, &cpi)| modops::mul_mod(modops::sub_mod(ci, cpi % qi, qi), p_inv, qi))
-                .collect();
-            new_limbs.push(limb);
-        }
-        let mut out = RnsPoly::from_limbs(level_ctx, new_limbs, Domain::Coefficient);
-        out.to_evaluation();
-        out
+        let batch = PolyBatch::from_polys(std::slice::from_ref(d));
+        let (out0, out1) = self.key_switch_batch(&batch, key);
+        (out0.poly(0), out1.poly(0))
     }
 }
 
@@ -516,6 +393,23 @@ mod tests {
         for i in 0..a.len() {
             assert!((got[i] - a[i]).abs() < 1e-3, "slot {i}");
         }
+    }
+
+    #[test]
+    fn mod_drop_equals_iterative_drop() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let ca = ctx.encrypt(&msg_a(ctx.slot_count()), &kp.public);
+        let direct = ev.mod_drop(&ca, 1);
+        let mut c0 = ca.c0.clone();
+        let mut c1 = ca.c1.clone();
+        for l in (1..ca.level).rev() {
+            let c = ctx.level_ctx(l).clone();
+            c0 = c0.drop_last_limb(c.clone());
+            c1 = c1.drop_last_limb(c);
+        }
+        assert_eq!(direct.c0.limbs(), c0.limbs());
+        assert_eq!(direct.c1.limbs(), c1.limbs());
     }
 
     #[test]

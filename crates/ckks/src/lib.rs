@@ -6,6 +6,9 @@
 //! * canonical-embedding encoder (special FFT over `C^{N/2}`),
 //! * RLWE key generation, encryption, decryption,
 //! * HE-Add / HE-Mult (tensor + relinearization) / Rescale / Rotate,
+//! * batched evaluation over [`BatchedCiphertext`] (batch-major packs
+//!   of same-level ciphertexts; every kernel amortizes across the
+//!   batch, bit-exact with the sequential loop),
 //! * hybrid key switching with digit decomposition (`dnum`, [37]),
 //! * fast basis conversion (BConv) raise/reduce,
 //! * a packed-bootstrapping cost estimator following the paper's own
@@ -30,6 +33,7 @@
 //! }
 //! ```
 
+pub mod batched;
 pub mod bootstrap;
 pub mod ciphertext;
 pub mod context;
@@ -39,6 +43,7 @@ pub mod eval;
 pub mod keys;
 pub mod params;
 
+pub use batched::BatchedCiphertext;
 pub use ciphertext::Ciphertext;
 pub use context::CkksContext;
 pub use encoder::CkksEncoder;

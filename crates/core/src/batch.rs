@@ -1,0 +1,237 @@
+//! Whole-batch RNS execution: one compiled [`Ntt3Plan`] per limb
+//! modulus, driving a [`PolyBatch`] through the MAT 3-step pipeline.
+//!
+//! This is the glue between `cross-poly`'s batch-major data layout and
+//! the per-modulus compiled kernels of [`crate::mat`]: every limb gets
+//! its own twiddle parameters (compiled offline, shared across calls),
+//! and a transform of an `L`-limb batch of `B` polynomials runs `L`
+//! fused matmul pipelines whose streamed dimension is `C·B` — the shape
+//! the simulator charges and the paper's Fig. 11b sweeps. The CPU
+//! reference paths fan the independent limb transforms out over the
+//! scoped-thread pool.
+//!
+//! With `embed_bitrev = true` the plan layout **is** the radix-2
+//! butterfly layout, so these transforms are bit-compatible with
+//! [`PolyBatch::to_evaluation`] / [`cross_poly::RnsPoly::to_evaluation`]
+//! — the equivalence the batched property tests assert.
+
+use crate::mat::ntt3::{Ntt3Config, Ntt3Plan};
+use crate::modred::ModRed;
+use crate::plan;
+use cross_math::par;
+use cross_poly::ring::Domain;
+use cross_poly::rns_poly::RnsContext;
+use cross_poly::PolyBatch;
+use cross_tpu::TpuSim;
+
+/// Per-limb compiled 3-step NTT plans over one RNS basis.
+#[derive(Debug, Clone)]
+pub struct RnsNttPlans {
+    plans: Vec<Ntt3Plan>,
+}
+
+impl RnsNttPlans {
+    /// Compiles one plan per limb modulus at factorization `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if `r·c != ctx.n()` (propagated from [`Ntt3Plan::new`]).
+    pub fn for_context(
+        ctx: &RnsContext,
+        r: usize,
+        c: usize,
+        modred: ModRed,
+        embed_bitrev: bool,
+    ) -> Self {
+        let plans = ctx
+            .tables()
+            .iter()
+            .map(|t| {
+                Ntt3Plan::new(
+                    t.clone(),
+                    Ntt3Config {
+                        r,
+                        c,
+                        modred,
+                        embed_bitrev,
+                    },
+                )
+            })
+            .collect();
+        Self { plans }
+    }
+
+    /// The §V-A standalone-NTT configuration (`R = 128` lanes, bitrev
+    /// embedded so the layout matches the butterfly NTT exactly).
+    pub fn standalone(ctx: &RnsContext, modred: ModRed) -> Self {
+        let (r, c) = plan::standalone_ntt_rc(ctx.n());
+        Self::for_context(ctx, r, c, modred, true)
+    }
+
+    /// The per-limb plans.
+    pub fn plans(&self) -> &[Ntt3Plan] {
+        &self.plans
+    }
+
+    /// Total offline parameter bytes across all limbs.
+    pub fn param_bytes(&self) -> usize {
+        self.plans.iter().map(|p| p.param_bytes()).sum()
+    }
+
+    fn check(&self, pb: &PolyBatch, want: Domain) {
+        assert_eq!(pb.level_count(), self.plans.len(), "limb count mismatch");
+        assert_eq!(pb.domain(), want, "domain mismatch");
+        assert!(
+            self.plans
+                .iter()
+                .all(|p| p.config().embed_bitrev && p.tables().n() == pb.context().n()),
+            "plans must embed bitrev and match the batch degree"
+        );
+    }
+
+    /// Whether the per-limb batched matmuls are big enough that
+    /// [`cross_poly::engines::matmul_mod_par`] will fan out internally
+    /// — in that case the outer limb loop stays serial so the two
+    /// levels don't oversubscribe the cores.
+    fn inner_matmuls_parallelize(&self, batch: usize) -> bool {
+        const INNER_PAR_THRESHOLD: usize = 1 << 18;
+        self.plans.first().is_some_and(|p| {
+            let cfg = p.config();
+            let work = cfg.r * cfg.r * cfg.c * batch;
+            work >= INNER_PAR_THRESHOLD && par::parallelism() > 1
+        })
+    }
+
+    /// Forward-transforms a coefficient-domain batch to the evaluation
+    /// domain, pure CPU. Small shapes parallelize across limbs; large
+    /// shapes run limbs serially and parallelize inside each matmul.
+    /// Bit-identical to [`PolyBatch::to_evaluation`].
+    pub fn forward_batch(&self, pb: &PolyBatch) -> PolyBatch {
+        self.check(pb, Domain::Coefficient);
+        let batch = pb.batch();
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); pb.level_count()];
+        let fill = |i: usize, limb: &mut Vec<u64>| {
+            *limb = self.plans[i].forward_batch_reference(&pb.limbs()[i], batch);
+        };
+        if self.inner_matmuls_parallelize(batch) {
+            out.iter_mut().enumerate().for_each(|(i, l)| fill(i, l));
+        } else {
+            par::par_for_each_mut(&mut out, fill);
+        }
+        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Evaluation)
+    }
+
+    /// Inverse-transforms an evaluation-domain batch back to
+    /// coefficients, pure CPU (same limb-vs-matmul parallelism split as
+    /// [`RnsNttPlans::forward_batch`]). Bit-identical to
+    /// [`PolyBatch::to_coefficient`].
+    pub fn inverse_batch(&self, pb: &PolyBatch) -> PolyBatch {
+        self.check(pb, Domain::Evaluation);
+        let batch = pb.batch();
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); pb.level_count()];
+        let fill = |i: usize, limb: &mut Vec<u64>| {
+            *limb = self.plans[i].inverse_batch_reference(&pb.limbs()[i], batch);
+        };
+        if self.inner_matmuls_parallelize(batch) {
+            out.iter_mut().enumerate().for_each(|(i, l)| fill(i, l));
+        } else {
+            par::par_for_each_mut(&mut out, fill);
+        }
+        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Coefficient)
+    }
+
+    /// Forward transform on the simulator: `L` fused batch kernels,
+    /// each charging the `C·batch` streamed matmul shapes.
+    pub fn forward_batch_on_tpu(&self, sim: &mut TpuSim, pb: &PolyBatch) -> PolyBatch {
+        self.check(pb, Domain::Coefficient);
+        let batch = pb.batch();
+        let out = self
+            .plans
+            .iter()
+            .zip(pb.limbs())
+            .map(|(plan, limb)| plan.forward_batch_on_tpu(sim, limb, batch))
+            .collect();
+        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Evaluation)
+    }
+
+    /// Inverse transform on the simulator.
+    pub fn inverse_batch_on_tpu(&self, sim: &mut TpuSim, pb: &PolyBatch) -> PolyBatch {
+        self.check(pb, Domain::Evaluation);
+        let batch = pb.batch();
+        let out = self
+            .plans
+            .iter()
+            .zip(pb.limbs())
+            .map(|(plan, limb)| plan.inverse_batch_on_tpu(sim, limb, batch))
+            .collect();
+        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Coefficient)
+    }
+
+    /// Charges the cost of forward-transforming a batch of `batch`
+    /// polynomials across all limbs (one fused kernel per limb).
+    pub fn charge_forward_batch(&self, sim: &mut TpuSim, batch: usize) {
+        for plan in &self.plans {
+            plan.charge_forward_batch(sim, batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_math::primes;
+    use cross_poly::rns_poly::RnsPoly;
+    use cross_tpu::TpuGeneration;
+    use std::sync::Arc;
+
+    fn setup(logn: u32, l: usize, batch: usize) -> (Arc<RnsContext>, PolyBatch) {
+        let n = 1usize << logn;
+        let moduli = primes::ntt_prime_chain(28, n as u64, l).unwrap();
+        let ctx = Arc::new(RnsContext::new(n, moduli));
+        let polys: Vec<RnsPoly> = (0..batch as i64)
+            .map(|b| {
+                let coeffs: Vec<i64> = (0..n as i64).map(|j| (j * 11 + b * 29) % 83 - 41).collect();
+                RnsPoly::from_signed_coeffs(ctx.clone(), &coeffs)
+            })
+            .collect();
+        (ctx, PolyBatch::from_polys(&polys))
+    }
+
+    #[test]
+    fn matches_butterfly_to_evaluation() {
+        let (ctx, pb) = setup(6, 3, 4);
+        let plans = RnsNttPlans::standalone(&ctx, ModRed::Montgomery);
+        let fwd = plans.forward_batch(&pb);
+        let mut want = pb.clone();
+        want.to_evaluation();
+        assert_eq!(fwd.limbs(), want.limbs());
+        assert_eq!(fwd.domain(), Domain::Evaluation);
+        let back = plans.inverse_batch(&fwd);
+        assert_eq!(back.limbs(), pb.limbs());
+    }
+
+    #[test]
+    fn tpu_path_matches_reference() {
+        let (ctx, pb) = setup(6, 2, 3);
+        let plans = RnsNttPlans::for_context(&ctx, 8, 8, ModRed::Montgomery, true);
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let fwd = plans.forward_batch_on_tpu(&mut sim, &pb);
+        assert_eq!(fwd.limbs(), plans.forward_batch(&pb).limbs());
+        let back = plans.inverse_batch_on_tpu(&mut sim, &fwd);
+        assert_eq!(back.limbs(), pb.limbs());
+        assert!(sim.compute_seconds() > 0.0);
+    }
+
+    #[test]
+    fn charge_matches_functional_compute() {
+        let (ctx, pb) = setup(6, 2, 4);
+        let plans = RnsNttPlans::for_context(&ctx, 8, 8, ModRed::Montgomery, true);
+        let mut s_fn = TpuSim::new(TpuGeneration::V6e);
+        let _ = plans.forward_batch_on_tpu(&mut s_fn, &pb);
+        let mut s_ch = TpuSim::new(TpuGeneration::V6e);
+        plans.charge_forward_batch(&mut s_ch, pb.batch());
+        // The charge model adds DMA/spill accounting on top of the same
+        // compute shapes; compute seconds must agree exactly.
+        let d = (s_fn.compute_seconds() - s_ch.compute_seconds()).abs();
+        assert!(d < 1e-12, "compute mismatch {d}");
+    }
+}

@@ -15,7 +15,20 @@ use crate::bat::{chunk, scalar};
 use crate::modred::{ModRed, PreparedParams, VecModMul};
 use cross_math::modops;
 use cross_math::rns::BconvTable;
+use cross_poly::ring::Domain;
+use cross_poly::PolyBatch;
 use cross_tpu::{Category, TpuSim};
+
+/// Widens prepared parameters of a *constant* vector to `rows`
+/// entries by replicating the first prepared value (preparation is
+/// element-wise, so this equals preparing `vec![c; rows]`).
+fn widen_constant_params(params: &PreparedParams, rows: usize) -> PreparedParams {
+    match params {
+        PreparedParams::Plain(v) => PreparedParams::Plain(vec![v[0]; rows]),
+        PreparedParams::Montgomery(v) => PreparedParams::Montgomery(vec![v[0]; rows]),
+        PreparedParams::Shoup(w, s) => PreparedParams::Shoup(vec![w[0]; rows], vec![s[0]; rows]),
+    }
+}
 
 /// A BConv kernel compiled for one `(source, target)` basis pair at a
 /// fixed degree.
@@ -27,8 +40,10 @@ pub struct BconvKernel {
     k: usize,
     source: Vec<u64>,
     target: Vec<u64>,
-    /// Step-1 multipliers prepared per source limb.
+    /// Step-1 multipliers prepared per source limb (degree-`N` shape).
     step1: Vec<(VecModMul, PreparedParams)>,
+    /// Raw `[q̂_i^{-1}]_{q_i}` values (re-prepared for batched shapes).
+    qhat_inv: Vec<u64>,
     /// BAT-dense step-2 matrix, `(K·L) × (K·L')` bytes, row-major.
     m_dense: Vec<u8>,
     /// Plain step-2 matrix for the reference/baseline path (`L × L'`).
@@ -51,12 +66,13 @@ impl BconvKernel {
                 "moduli must fit K=4 byte chunks"
             );
         }
+        let qhat_inv = table.qhat_inv().to_vec();
         let step1 = source
             .iter()
             .enumerate()
             .map(|(i, &qi)| {
                 let vm = VecModMul::new(qi, modred);
-                let params = vm.prepare_params(&vec![table.qhat_inv()[i]; n]);
+                let params = vm.prepare_params(&vec![qhat_inv[i]; n]);
                 (vm, params)
             })
             .collect();
@@ -86,6 +102,7 @@ impl BconvKernel {
             source,
             target,
             step1,
+            qhat_inv,
             m_dense,
             m_plain,
         }
@@ -111,45 +128,75 @@ impl BconvKernel {
         self.m_dense.len()
     }
 
+    /// Row count of a limb set (`N` for a single polynomial, `N·batch`
+    /// for a batch-major limb), validated against the compiled degree.
+    fn rows_of(&self, limbs: &[Vec<u64>]) -> usize {
+        assert_eq!(limbs.len(), self.l, "limb count must match source basis");
+        let rows = limbs.first().map_or(self.n, |l| l.len());
+        assert!(
+            rows >= self.n && rows.is_multiple_of(self.n),
+            "limb length must be a multiple of the compiled degree"
+        );
+        for l in limbs {
+            assert_eq!(l.len(), rows, "ragged limb lengths");
+        }
+        rows
+    }
+
     /// Step 1 on the simulator: `b_i = a_i · q̂_i^{-1} mod q_i` per limb.
+    /// Accepts degree-`N` limbs or batch-major `N·batch` limbs.
     pub fn step1_on_tpu(&self, sim: &mut TpuSim, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
         assert_eq!(limbs.len(), self.l, "limb count mismatch");
+        let rows = self.rows_of(limbs);
         limbs
             .iter()
             .zip(&self.step1)
-            .map(|(limb, (vm, params))| vm.mul_vec(sim, limb, params, Category::VecModOps))
+            .map(|(limb, (vm, params))| {
+                if rows == self.n {
+                    vm.mul_vec(sim, limb, params, Category::VecModOps)
+                } else {
+                    // Batched shape: the step-1 multiplier is one
+                    // constant, so widen the already-prepared value to
+                    // the fused width (one VecModMul over N·batch)
+                    // without redoing the preparation.
+                    let wide = widen_constant_params(params, rows);
+                    vm.mul_vec(sim, limb, &wide, Category::VecModOps)
+                }
+            })
             .collect()
     }
 
-    /// Step 2 via BAT on the MXU: `(N × KL) @ (KL × KL')` int8 matmul,
-    /// merged and reduced per column modulus.
+    /// Step 2 via BAT on the MXU: `(rows × KL) @ (KL × KL')` int8
+    /// matmul, merged and reduced per column modulus. `rows` is `N` for
+    /// one polynomial and `N·batch` for a batch — the inner products
+    /// execute once per batch with the row dimension fused.
     pub fn step2_bat_on_tpu(&self, sim: &mut TpuSim, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let rows = self.rows_of(b);
         let (kl, klo) = (self.k * self.l, self.k * self.l_out);
-        // Runtime chunking of the N×L data into N×KL (type conversion).
+        // Runtime chunking of the rows×L data into rows×KL (type conversion).
         sim.charge_vpu(
-            self.n * self.l,
+            rows * self.l,
             2 * self.k as u32,
             Category::TypeConversion,
             "u32->chunks",
         );
-        let mut d = vec![0u8; self.n * kl];
+        let mut d = vec![0u8; rows * kl];
         for (i, limb) in b.iter().enumerate() {
-            assert_eq!(limb.len(), self.n);
             for (nn, &v) in limb.iter().enumerate() {
                 for (kk, &c) in chunk::decompose(v, self.k, 8).iter().enumerate() {
                     d[nn * kl + i * self.k + kk] = c as u8;
                 }
             }
         }
-        let z = sim.matmul_u8(&d, &self.m_dense, self.n, kl, klo, Category::BconvMatMul);
+        let z = sim.matmul_u8(&d, &self.m_dense, rows, kl, klo, Category::BconvMatMul);
         sim.charge_vpu(
-            self.n * self.l_out,
+            rows * self.l_out,
             self.k as u32,
             Category::VecModOps,
             "chunk merge",
         );
         sim.charge_vpu(
-            self.n * self.l_out,
+            rows * self.l_out,
             ModRed::Montgomery.vpu_ops(),
             Category::VecModOps,
             "final mod reduce",
@@ -157,7 +204,7 @@ impl BconvKernel {
         (0..self.l_out)
             .map(|j| {
                 let pj = self.target[j];
-                (0..self.n)
+                (0..rows)
                     .map(|nn| {
                         let mut acc = 0u128;
                         for t in 0..self.k {
@@ -173,8 +220,9 @@ impl BconvKernel {
     /// Step 2 on the VPU only (the TPU *baseline* of Tab. VI): `L`
     /// high-precision multiply-accumulates per output element.
     pub fn step2_baseline_on_tpu(&self, sim: &mut TpuSim, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let rows = self.rows_of(b);
         sim.charge_vpu(
-            self.n * self.l_out,
+            rows * self.l_out,
             self.l as u32 * (ModRed::Montgomery.vpu_ops() + 2),
             Category::VecModOps,
             "hp modmatmul on vpu",
@@ -182,16 +230,18 @@ impl BconvKernel {
         self.step2_reference(b)
     }
 
-    /// Pure-CPU step-2 oracle.
+    /// Pure-CPU step-2 oracle (row-count agnostic: works on single
+    /// polynomials and batch-major limbs alike).
     ///
     /// # Panics
     /// Panics if `b` does not carry one row per source limb.
     pub fn step2_reference(&self, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
         assert_eq!(b.len(), self.l, "limb count must match source basis");
+        let rows = self.rows_of(b);
         (0..self.l_out)
             .map(|j| {
                 let pj = self.target[j];
-                (0..self.n)
+                (0..rows)
                     .map(|nn| {
                         let mut acc = 0u128;
                         for (bi, mi) in b.iter().zip(&self.m_plain) {
@@ -257,20 +307,41 @@ impl BconvKernel {
         }
     }
 
+    /// Full conversion of a batch-major [`PolyBatch`] on the simulator:
+    /// one fused `(N·batch × KL) @ (KL × KL')` matmul for step 2 — the
+    /// batched shape [`BconvKernel::charge`] accounts for.
+    ///
+    /// Returns target-basis limbs in the same batch-major layout.
+    ///
+    /// # Panics
+    /// Panics if the batch's basis does not match the compiled source
+    /// basis or the batch is not in the coefficient domain.
+    pub fn convert_batch_on_tpu(
+        &self,
+        sim: &mut TpuSim,
+        batch: &PolyBatch,
+        use_bat: bool,
+    ) -> Vec<Vec<u64>> {
+        assert_eq!(batch.context().n(), self.n, "degree mismatch");
+        assert_eq!(batch.context().moduli(), &self.source[..], "basis mismatch");
+        assert_eq!(
+            batch.domain(),
+            Domain::Coefficient,
+            "basis conversion operates on coefficients"
+        );
+        self.convert_on_tpu(sim, batch.limbs(), use_bat)
+    }
+
     /// Scalar-path oracle via [`BconvTable::convert_scalar`] semantics:
-    /// full reference conversion of all coefficients.
+    /// full reference conversion of all coefficients (single-polynomial
+    /// or batch-major limbs).
     pub fn convert_reference(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
         let b: Vec<Vec<u64>> = limbs
             .iter()
-            .zip(&self.step1)
+            .zip(&self.qhat_inv)
             .enumerate()
-            .map(|(i, (limb, _))| {
+            .map(|(i, (limb, &qhat_inv))| {
                 let qi = self.source[i];
-                let qhat_inv = match &self.step1[i].1 {
-                    PreparedParams::Plain(v) => v[0],
-                    PreparedParams::Montgomery(v) => self.step1[i].0.montgomery().from_mont(v[0]),
-                    PreparedParams::Shoup(v, _) => v[0],
-                };
                 limb.iter()
                     .map(|&x| modops::mul_mod(x % qi, qhat_inv, qi))
                     .collect()
@@ -364,6 +435,33 @@ mod tests {
         let _ = kernel.convert_on_tpu(&mut s_base, &limbs, false);
         assert!(s_bat.trace().seconds_of(Category::BconvMatMul) > 0.0);
         assert_eq!(s_base.trace().seconds_of(Category::BconvMatMul), 0.0);
+    }
+
+    #[test]
+    fn batched_conversion_matches_sequential() {
+        use cross_poly::rns_poly::{RnsContext, RnsPoly};
+        use std::sync::Arc;
+        let (basis, _, kernel) = setup(3, 2, 16);
+        let ctx = Arc::new(RnsContext::new(16, basis.moduli().to_vec()));
+        let polys: Vec<RnsPoly> = (0..4i64)
+            .map(|b| {
+                let coeffs: Vec<i64> = (0..16).map(|j| (j * 5 + b * 7) % 31 - 15).collect();
+                RnsPoly::from_signed_coeffs(ctx.clone(), &coeffs)
+            })
+            .collect();
+        let pb = cross_poly::PolyBatch::from_polys(&polys);
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
+        let fused = kernel.convert_batch_on_tpu(&mut sim, &pb, true);
+        // Sequential oracle: convert each polynomial independently.
+        for (b, p) in polys.iter().enumerate() {
+            let mut s = TpuSim::new(TpuGeneration::V6e);
+            let want = kernel.convert_on_tpu(&mut s, p.limbs(), true);
+            for (j, limb) in fused.iter().enumerate() {
+                assert_eq!(limb[b * 16..(b + 1) * 16], want[j][..], "poly {b} limb {j}");
+            }
+        }
+        // And the reference path agrees at the batched width.
+        assert_eq!(fused, kernel.convert_reference(pb.limbs()));
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   runtime data reordering (paper §IV-B, Fig. 9, Fig. 10).
 //!
 //! [`modred`] selects the modular-reduction strategy (Fig. 13 ablation),
-//! [`bconv`] lowers Basis Conversion through BAT, and [`plan`] sweeps
-//! `(R, C)` factorization candidates the way §V-A describes.
+//! [`bconv`] lowers Basis Conversion through BAT, [`plan`] sweeps
+//! `(R, C)` factorization candidates the way §V-A describes, and
+//! [`batch`] drives whole batch-major [`cross_poly::PolyBatch`]es
+//! through per-limb compiled plans so the matmuls stream a `C·batch`
+//! dimension (Fig. 11b's unit of work).
 //!
 //! ## Example
 //!
@@ -39,11 +42,13 @@
 //! ```
 
 pub mod bat;
+pub mod batch;
 pub mod bconv;
 pub mod mat;
 pub mod modred;
 pub mod plan;
 
 pub use bat::matmul::BatMatMul;
+pub use batch::RnsNttPlans;
 pub use mat::ntt3::{Ntt3Config, Ntt3Plan};
 pub use modred::ModRed;

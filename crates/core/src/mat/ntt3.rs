@@ -29,7 +29,7 @@ use crate::mat::perm;
 use crate::modred::{ModRed, PreparedParams, VecModMul};
 use cross_math::bitrev::bit_reverse_permutation;
 use cross_math::modops::{inv_mod, mul_mod};
-use cross_poly::engines::matmul_mod;
+use cross_poly::engines::{matmul_mod, matmul_mod_par};
 use cross_poly::NttTables;
 use cross_tpu::{Category, TpuSim};
 use std::sync::Arc;
@@ -235,6 +235,144 @@ impl Ntt3Plan {
     }
 
     // ------------------------------------------------------------------
+    // Batched execution (CPU reference + TPU) — the Fig. 11b unit of
+    // work. Inputs hold `batch` polynomials back-to-back
+    // (`a[b·N .. (b+1)·N]` is polynomial `b` in the plan layout); all
+    // batched paths are bit-identical to looping the single-polynomial
+    // entry points.
+    // ------------------------------------------------------------------
+
+    /// Column-stacks `batch` row-major `R×C` polynomials into one
+    /// `R × C·batch` matrix (`stk[k1][b·C+cc] = a_b[k1·C+cc]`) — the
+    /// streamed dimension of the fused step-1 matmul.
+    fn col_stack(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c) = (self.cfg.r, self.cfg.c);
+        let (n, cb) = (r * c, c * batch);
+        let mut stk = vec![0u64; r * cb];
+        for b in 0..batch {
+            for k1 in 0..r {
+                stk[k1 * cb + b * c..k1 * cb + b * c + c]
+                    .copy_from_slice(&a[b * n + k1 * c..b * n + k1 * c + c]);
+            }
+        }
+        stk
+    }
+
+    /// Undoes [`Ntt3Plan::col_stack`]: `R × C·batch` back to
+    /// `batch` contiguous `R×C` polynomials.
+    fn col_unstack(&self, stk: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c) = (self.cfg.r, self.cfg.c);
+        let (n, cb) = (r * c, c * batch);
+        let mut out = vec![0u64; batch * n];
+        for b in 0..batch {
+            for k1 in 0..r {
+                out[b * n + k1 * c..b * n + k1 * c + c]
+                    .copy_from_slice(&stk[k1 * cb + b * c..k1 * cb + b * c + c]);
+            }
+        }
+        out
+    }
+
+    /// Expands an `R×C` twiddle table to the `R × C·batch`
+    /// column-stacked layout (each row's block repeats per batch entry).
+    fn tile_col_stacked(&self, base: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c) = (self.cfg.r, self.cfg.c);
+        let cb = c * batch;
+        let mut out = vec![0u64; r * cb];
+        for k1 in 0..r {
+            for b in 0..batch {
+                out[k1 * cb + b * c..k1 * cb + b * c + c]
+                    .copy_from_slice(&base[k1 * c..k1 * c + c]);
+            }
+        }
+        out
+    }
+
+    /// Re-tiles *prepared* step-2 parameters into the column-stacked
+    /// batch layout. Preparation (Montgomery lift / Shoup companion) is
+    /// element-wise, so reordering prepared values is identical to
+    /// preparing the reordered table — without redoing the per-element
+    /// conversions on every call.
+    fn tile_prepared_col(&self, params: &PreparedParams, batch: usize) -> PreparedParams {
+        match params {
+            PreparedParams::Plain(v) => PreparedParams::Plain(self.tile_col_stacked(v, batch)),
+            PreparedParams::Montgomery(v) => {
+                PreparedParams::Montgomery(self.tile_col_stacked(v, batch))
+            }
+            PreparedParams::Shoup(w, s) => PreparedParams::Shoup(
+                self.tile_col_stacked(w, batch),
+                self.tile_col_stacked(s, batch),
+            ),
+        }
+    }
+
+    /// Repeats prepared parameters `batch` times (the row-stacked,
+    /// polynomial-contiguous tiling with period `N`).
+    fn repeat_prepared(&self, params: &PreparedParams, batch: usize) -> PreparedParams {
+        fn rep(v: &[u64], batch: usize) -> Vec<u64> {
+            let mut out = Vec::with_capacity(v.len() * batch);
+            for _ in 0..batch {
+                out.extend_from_slice(v);
+            }
+            out
+        }
+        match params {
+            PreparedParams::Plain(v) => PreparedParams::Plain(rep(v, batch)),
+            PreparedParams::Montgomery(v) => PreparedParams::Montgomery(rep(v, batch)),
+            PreparedParams::Shoup(w, s) => PreparedParams::Shoup(rep(w, batch), rep(s, batch)),
+        }
+    }
+
+    /// Forward transform of a batch, pure CPU (parallel matmuls): one
+    /// fused `W_R @ [A₀|A₁|…]` over the `C·batch` streamed dimension,
+    /// tiled step-2 twiddles, relayout, one fused `[X₀;X₁;…] @ W_C`.
+    pub fn forward_batch_reference(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c, q) = (self.cfg.r, self.cfg.c, self.tables.q());
+        let n = r * c;
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        let (cb, rb) = (c * batch, r * batch);
+        let stk = self.col_stack(a, batch);
+        let x = matmul_mod_par(&self.w_r, &stk, r, r, cb, q);
+        // Step 2: twiddles tile across the batch blocks of each row.
+        let mut x2 = vec![0u64; r * cb];
+        for k1 in 0..r {
+            for b in 0..batch {
+                for cc in 0..c {
+                    x2[k1 * cb + b * c + cc] =
+                        mul_mod(x[k1 * cb + b * c + cc], self.step2[k1 * c + cc], q);
+                }
+            }
+        }
+        // Relayout: column-stacked R×(C·B) → row-stacked (R·B)×C, rows
+        // batch-major so the fused right-matmul output lands
+        // polynomial-contiguous.
+        let row_stacked = self.col_unstack(&x2, batch);
+        matmul_mod_par(&row_stacked, &self.w_c, rb, c, c, q)
+    }
+
+    /// Inverse transform of a batch, pure CPU; accepts the plan layout,
+    /// returns natural-order coefficients per polynomial.
+    pub fn inverse_batch_reference(&self, y: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c, q) = (self.cfg.r, self.cfg.c, self.tables.q());
+        let n = r * c;
+        assert_eq!(y.len(), batch * n, "batch shape mismatch");
+        let (cb, rb) = (c * batch, r * batch);
+        // The contiguous input IS the row-stacked (R·B)×C matrix.
+        let z = matmul_mod_par(y, &self.v_c, rb, c, c, q);
+        // Tiled inverse step-2 twiddles (row-stacked layout is
+        // polynomial-contiguous, so the table tiles with period N).
+        let x: Vec<u64> = z
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| mul_mod(v, self.inv_step2[i % n], q))
+            .collect();
+        // Relayout to column-stacked for the fused left-matmul.
+        let xc = self.col_stack(&x, batch);
+        let w = matmul_mod_par(&self.v_r, &xc, r, r, cb, q);
+        self.col_unstack(&w, batch)
+    }
+
+    // ------------------------------------------------------------------
     // TPU execution (functional + cost)
     // ------------------------------------------------------------------
 
@@ -270,6 +408,67 @@ impl Ntt3Plan {
             Some(bat) => bat.execute(sim, &x, c, Category::InttMatMul),
             None => self.vpu_matmul(sim, &self.v_r, &x, r, r, c, q, Category::InttMatMul),
         }
+    }
+
+    /// Forward transform of a batch on the simulator: the MAT 3-step
+    /// matmuls execute **once per batch** with the `C·batch` streamed
+    /// dimension — exactly the shapes
+    /// [`Ntt3Plan::charge_forward_batch`] charges. Bit-identical to
+    /// looping [`Ntt3Plan::forward_on_tpu`].
+    pub fn forward_batch_on_tpu(&self, sim: &mut TpuSim, a: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c, q) = (self.cfg.r, self.cfg.c, self.tables.q());
+        let n = r * c;
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        let (cb, rb) = (c * batch, r * batch);
+        let stk = self.col_stack(a, batch);
+        let x = match &self.bat_w_r {
+            Some(bat) => bat.execute(sim, &stk, cb, Category::NttMatMul),
+            None => self.vpu_matmul(sim, &self.w_r, &stk, r, r, cb, q, Category::NttMatMul),
+        };
+        let step2_tiled = self.tile_prepared_col(&self.step2_params, batch);
+        let x2 = self.vm.mul_vec(sim, &x, &step2_tiled, Category::VecModOps);
+        // Relayout from column-stacked to row-stacked batching.
+        sim.charge_reshape((n * batch * 4) as f64, Category::CopyReshape);
+        let row_stacked = self.col_unstack(&x2, batch);
+        match &self.bat_w_c {
+            Some(bat) => bat.execute(sim, &row_stacked, rb, Category::NttMatMul),
+            None => self.vpu_matmul(
+                sim,
+                &row_stacked,
+                &self.w_c,
+                rb,
+                c,
+                c,
+                q,
+                Category::NttMatMul,
+            ),
+        }
+    }
+
+    /// Inverse transform of a batch on the simulator (mirror of
+    /// [`Ntt3Plan::forward_batch_on_tpu`]); bit-identical to looping
+    /// [`Ntt3Plan::inverse_on_tpu`].
+    pub fn inverse_batch_on_tpu(&self, sim: &mut TpuSim, y: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c, q) = (self.cfg.r, self.cfg.c, self.tables.q());
+        let n = r * c;
+        assert_eq!(y.len(), batch * n, "batch shape mismatch");
+        let (cb, rb) = (c * batch, r * batch);
+        // The contiguous input IS the row-stacked (R·B)×C matrix.
+        let z = match &self.bat_v_c {
+            Some(bat) => bat.execute(sim, y, rb, Category::InttMatMul),
+            None => self.vpu_matmul(sim, y, &self.v_c, rb, c, c, q, Category::InttMatMul),
+        };
+        // Row-stacked layout is polynomial-contiguous: the inverse
+        // twiddle table tiles with period N.
+        let params = self.repeat_prepared(&self.inv_step2_params, batch);
+        let x = self.vm.mul_vec(sim, &z, &params, Category::VecModOps);
+        sim.charge_reshape((n * batch * 4) as f64, Category::CopyReshape);
+        let xc = self.col_stack(&x, batch);
+        let w = match &self.bat_v_r {
+            Some(bat) => bat.execute(sim, &xc, cb, Category::InttMatMul),
+            None => self.vpu_matmul(sim, &self.v_r, &xc, r, r, cb, q, Category::InttMatMul),
+        };
+        self.col_unstack(&w, batch)
     }
 
     /// VPU fallback matmul (Shoup path): a chain of `k` vectorized
@@ -489,5 +688,89 @@ mod tests {
         let result =
             std::panic::catch_unwind(|| Ntt3Plan::new(t, cfg(8, 16, ModRed::Montgomery, false)));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn batched_reference_bit_exact_with_loop() {
+        for (embed, batch) in [(false, 1usize), (false, 4), (true, 3), (true, 8)] {
+            let t = tables(6);
+            let plan = Ntt3Plan::new(t.clone(), cfg(8, 8, ModRed::Montgomery, embed));
+            let a = sample(batch * t.n(), t.q());
+            let fused = plan.forward_batch_reference(&a, batch);
+            let looped: Vec<u64> = a
+                .chunks(t.n())
+                .flat_map(|p| plan.forward_reference(p))
+                .collect();
+            assert_eq!(fused, looped, "embed={embed} batch={batch}");
+            assert_eq!(
+                plan.inverse_batch_reference(&fused, batch),
+                a,
+                "roundtrip embed={embed} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_tpu_bit_exact_with_loop_all_modreds() {
+        for modred in [ModRed::Montgomery, ModRed::Barrett, ModRed::Shoup] {
+            let t = tables(6);
+            let plan = Ntt3Plan::new(t.clone(), cfg(8, 8, modred, true));
+            let batch = 5usize;
+            let a = sample(batch * t.n(), t.q());
+            let mut s_fused = TpuSim::new(TpuGeneration::V6e);
+            let fused = plan.forward_batch_on_tpu(&mut s_fused, &a, batch);
+            let mut s_loop = TpuSim::new(TpuGeneration::V6e);
+            let looped: Vec<u64> = a
+                .chunks(t.n())
+                .flat_map(|p| plan.forward_on_tpu(&mut s_loop, p))
+                .collect();
+            assert_eq!(fused, looped, "{}", modred.name());
+            let mut s_inv = TpuSim::new(TpuGeneration::V6e);
+            assert_eq!(
+                plan.inverse_batch_on_tpu(&mut s_inv, &fused, batch),
+                a,
+                "{} roundtrip",
+                modred.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_charge_matches_functional_compute() {
+        // `charge_forward_batch` and the functional batched path must
+        // account identical compute shapes (DMA/spill is extra on the
+        // charge side, which models the full fused kernel).
+        let t = tables(8);
+        let plan = Ntt3Plan::new(t.clone(), cfg(16, 16, ModRed::Montgomery, true));
+        let batch = 4usize;
+        let a = sample(batch * t.n(), t.q());
+        let mut s_fn = TpuSim::new(TpuGeneration::V6e);
+        let _ = plan.forward_batch_on_tpu(&mut s_fn, &a, batch);
+        let mut s_ch = TpuSim::new(TpuGeneration::V6e);
+        plan.charge_forward_batch(&mut s_ch, batch);
+        let d = (s_fn.compute_seconds() - s_ch.compute_seconds()).abs();
+        assert!(d < 1e-12, "compute mismatch {d}");
+    }
+
+    #[test]
+    fn batch_amortizes_mxu_padding() {
+        // Fig. 11b's mechanism: at small C the streamed dimension of the
+        // step-1 matmul underfills the MXU; fusing the batch widens it,
+        // so per-polynomial simulated cost drops.
+        let t = tables(10);
+        let plan = Ntt3Plan::new(t.clone(), cfg(32, 32, ModRed::Montgomery, true));
+        let a1 = sample(t.n(), t.q());
+        let mut s1 = TpuSim::new(TpuGeneration::V6e);
+        let _ = plan.forward_batch_on_tpu(&mut s1, &a1, 1);
+        let batch = 16usize;
+        let ab = sample(batch * t.n(), t.q());
+        let mut sb = TpuSim::new(TpuGeneration::V6e);
+        let _ = plan.forward_batch_on_tpu(&mut sb, &ab, batch);
+        let per_poly_batched = sb.compute_seconds() / batch as f64;
+        assert!(
+            per_poly_batched < s1.compute_seconds(),
+            "batched {per_poly_batched} vs single {}",
+            s1.compute_seconds()
+        );
     }
 }

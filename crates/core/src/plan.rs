@@ -11,6 +11,18 @@ use cross_poly::NttTables;
 use cross_tpu::{TpuGeneration, TpuSim};
 use std::sync::Arc;
 
+/// The balanced square-ish `(R, C)` split — the fallback factorization
+/// for degrees too small for the paper's lane-width candidates.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+pub fn balanced_rc(n: usize) -> (usize, usize) {
+    assert!(n.is_power_of_two());
+    let logn = n.trailing_zeros();
+    let r = 1usize << (logn / 2);
+    (r, n / r)
+}
+
 /// Candidate `(R, C)` factorizations for degree `n`, per §V-A.
 pub fn rc_candidates(n: usize) -> Vec<(usize, usize)> {
     assert!(n.is_power_of_two());
@@ -24,10 +36,7 @@ pub fn rc_candidates(n: usize) -> Vec<(usize, usize)> {
         }
     }
     if out.is_empty() {
-        // Small degrees: fall back to the balanced square-ish split.
-        let logn = n.trailing_zeros();
-        let r = 1usize << (logn / 2);
-        out.push((r, n / r));
+        out.push(balanced_rc(n));
     }
     out
 }
@@ -38,9 +47,7 @@ pub fn standalone_ntt_rc(n: usize) -> (usize, usize) {
     if n >= 256 && n.is_multiple_of(128) {
         (128, n / 128)
     } else {
-        let logn = n.trailing_zeros();
-        let r = 1usize << (logn / 2);
-        (r, n / r)
+        balanced_rc(n)
     }
 }
 
@@ -99,6 +106,16 @@ mod tests {
         assert_eq!(standalone_ntt_rc(1 << 16), (128, 512));
         // tiny degree falls back
         assert_eq!(standalone_ntt_rc(1 << 6), (8, 8));
+    }
+
+    #[test]
+    fn balanced_split_shapes() {
+        assert_eq!(balanced_rc(1 << 6), (8, 8));
+        assert_eq!(balanced_rc(1 << 7), (8, 16));
+        assert_eq!(balanced_rc(1 << 12), (64, 64));
+        // The small-degree fallback of both entry points is the same split.
+        assert_eq!(rc_candidates(1 << 6), vec![balanced_rc(1 << 6)]);
+        assert_eq!(standalone_ntt_rc(1 << 6), balanced_rc(1 << 6));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! arithmetic, the three modular-reduction algorithms the paper ablates
 //! (Barrett, optimized Montgomery, Shoup), NTT-friendly prime generation,
 //! a minimal arbitrary-precision integer for CRT/`Q`-level computations,
-//! and RNS basis tooling (including the precomputed tables that Basis
-//! Conversion consumes).
+//! RNS basis tooling (including the precomputed tables that Basis
+//! Conversion consumes), and a registry-free scoped-thread pool
+//! ([`par`]) for the batched limb loops.
 //!
 //! Everything in this crate is implemented from scratch; no external
 //! number-theory dependencies are used.
@@ -27,6 +28,7 @@ pub mod bigint;
 pub mod bitrev;
 pub mod modops;
 pub mod montgomery;
+pub mod par;
 pub mod primes;
 pub mod rns;
 pub mod shoup;

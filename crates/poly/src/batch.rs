@@ -1,0 +1,554 @@
+//! Batch-major RNS polynomial batches — the unit of work of the
+//! paper's best configurations (Fig. 11b).
+//!
+//! A [`PolyBatch`] holds `batch` polynomials over one shared
+//! [`RnsContext`] in *struct-of-limbs, batch-major* layout: limb `i` is
+//! a single contiguous vector of `batch · N` residues, polynomial `b`'s
+//! degree-`N` segment at `[b·N .. (b+1)·N]`. Two consequences:
+//!
+//! * every element-wise HE kernel (VecModMul/Add, scalar ops) runs once
+//!   over the whole limb instead of `batch` times — the layout the MXU
+//!   batching of `cross-core` streams directly;
+//! * the limb × batch loop nest is embarrassingly parallel, so domain
+//!   conversions fan out over [`cross_math::par`]'s scoped workers.
+//!
+//! All operations are bit-identical to applying the corresponding
+//! [`RnsPoly`] operation to each polynomial independently — the
+//! equivalence the batched-vs-sequential property tests pin down.
+
+use crate::ntt;
+use crate::ring::Domain;
+use crate::rns_poly::{RnsContext, RnsPoly};
+use cross_math::modops::{add_mod, mul_mod, neg_mod, sub_mod};
+use cross_math::par;
+use std::sync::Arc;
+
+/// Minimum total residues before a batched limb loop fans out to
+/// scoped threads — below this, spawn/join dominates the arithmetic
+/// and the serial loop wins (results are bit-identical either way).
+const MIN_PAR_ELEMS: usize = 1 << 14;
+
+/// [`par::par_for_each_mut`] gated on total work size.
+fn maybe_par<T, F>(items: &mut [T], total_elems: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if total_elems < MIN_PAR_ELEMS {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+    } else {
+        par::par_for_each_mut(items, f);
+    }
+}
+
+/// A batch of RNS polynomials in struct-of-limbs, batch-major layout.
+#[derive(Debug, Clone)]
+pub struct PolyBatch {
+    ctx: Arc<RnsContext>,
+    batch: usize,
+    /// `limbs[i][b·N + j]` = coefficient/evaluation `j` of polynomial
+    /// `b` mod `q_i`.
+    limbs: Vec<Vec<u64>>,
+    domain: Domain,
+}
+
+impl PolyBatch {
+    /// A batch of `batch` zero polynomials in the coefficient domain.
+    pub fn zero(ctx: Arc<RnsContext>, batch: usize) -> Self {
+        assert!(batch >= 1, "batch must be non-empty");
+        let limbs = vec![vec![0u64; batch * ctx.n()]; ctx.level_count()];
+        Self {
+            ctx,
+            batch,
+            limbs,
+            domain: Domain::Coefficient,
+        }
+    }
+
+    /// A zero batch already tagged as evaluation-domain (the NTT of the
+    /// zero polynomial is zero, so no transform is needed).
+    pub fn zero_evaluation(ctx: Arc<RnsContext>, batch: usize) -> Self {
+        let mut z = Self::zero(ctx, batch);
+        z.domain = Domain::Evaluation;
+        z
+    }
+
+    /// Wraps raw batch-major limb data.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch with the context.
+    pub fn from_limbs(
+        ctx: Arc<RnsContext>,
+        batch: usize,
+        limbs: Vec<Vec<u64>>,
+        domain: Domain,
+    ) -> Self {
+        assert!(batch >= 1, "batch must be non-empty");
+        assert_eq!(limbs.len(), ctx.level_count(), "limb count mismatch");
+        for l in &limbs {
+            assert_eq!(l.len(), batch * ctx.n(), "limb length mismatch");
+        }
+        Self {
+            ctx,
+            batch,
+            limbs,
+            domain,
+        }
+    }
+
+    /// Gathers independent polynomials into one batch.
+    ///
+    /// # Panics
+    /// Panics if `polys` is empty or the polynomials disagree on
+    /// degree, basis, or domain.
+    pub fn from_polys(polys: &[RnsPoly]) -> Self {
+        assert!(!polys.is_empty(), "batch must be non-empty");
+        let first = &polys[0];
+        let ctx = first.context().clone();
+        let n = ctx.n();
+        for p in polys {
+            assert_eq!(p.context().n(), n, "degree mismatch");
+            assert_eq!(p.context().moduli(), ctx.moduli(), "basis mismatch");
+            assert_eq!(p.domain(), first.domain(), "domain mismatch");
+        }
+        let limbs = (0..ctx.level_count())
+            .map(|i| {
+                let mut limb = Vec::with_capacity(polys.len() * n);
+                for p in polys {
+                    limb.extend_from_slice(&p.limbs()[i]);
+                }
+                limb
+            })
+            .collect();
+        Self {
+            ctx,
+            batch: polys.len(),
+            limbs,
+            domain: first.domain(),
+        }
+    }
+
+    /// Scatters the batch back into independent polynomials.
+    pub fn to_polys(&self) -> Vec<RnsPoly> {
+        (0..self.batch).map(|b| self.poly(b)).collect()
+    }
+
+    /// Extracts polynomial `b` as a standalone [`RnsPoly`].
+    pub fn poly(&self, b: usize) -> RnsPoly {
+        assert!(b < self.batch, "batch index out of range");
+        let n = self.ctx.n();
+        let limbs = self
+            .limbs
+            .iter()
+            .map(|l| l[b * n..(b + 1) * n].to_vec())
+            .collect();
+        RnsPoly::from_limbs(self.ctx.clone(), limbs, self.domain)
+    }
+
+    /// Shared context handle.
+    pub fn context(&self) -> &Arc<RnsContext> {
+        &self.ctx
+    }
+
+    /// Number of polynomials in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Current domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of limbs.
+    pub fn level_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Batch-major limb views (`batch · N` residues each).
+    pub fn limbs(&self) -> &[Vec<u64>] {
+        &self.limbs
+    }
+
+    /// Mutable limb views (caller must preserve reduction invariants).
+    pub fn limbs_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.limbs
+    }
+
+    /// Total residues across all limbs — the work-size gate for
+    /// [`maybe_par`].
+    fn total_elems(&self) -> usize {
+        self.limbs.len() * self.batch * self.ctx.n()
+    }
+
+    /// Runs `f(limb_index, segment)` over every degree-`N` segment of
+    /// every limb, fanned out over the scoped-thread pool when the
+    /// batch is large enough to pay for the spawn.
+    fn for_each_segment_mut<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &mut [u64]) + Sync,
+    {
+        let n = self.ctx.n();
+        let total = self.total_elems();
+        let mut segments: Vec<(usize, &mut [u64])> =
+            Vec::with_capacity(self.limbs.len() * self.batch);
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            for seg in limb.chunks_mut(n) {
+                segments.push((i, seg));
+            }
+        }
+        maybe_par(&mut segments, total, |_, (i, seg)| f(*i, seg));
+    }
+
+    /// Converts all polynomials to the evaluation domain — the batched
+    /// parallel limb loop (`level_count · batch` independent NTTs).
+    pub fn to_evaluation(&mut self) {
+        if self.domain == Domain::Coefficient {
+            let ctx = self.ctx.clone();
+            self.for_each_segment_mut(|i, seg| ntt::forward_inplace(seg, &ctx.tables()[i]));
+            self.domain = Domain::Evaluation;
+        }
+    }
+
+    /// Converts all polynomials to the coefficient domain.
+    pub fn to_coefficient(&mut self) {
+        if self.domain == Domain::Evaluation {
+            let ctx = self.ctx.clone();
+            self.for_each_segment_mut(|i, seg| ntt::inverse_inplace(seg, &ctx.tables()[i]));
+            self.domain = Domain::Coefficient;
+        }
+    }
+
+    fn check_compat(&self, other: &Self) {
+        assert_eq!(self.ctx.n(), other.ctx.n(), "degree mismatch");
+        assert_eq!(self.batch, other.batch, "batch size mismatch");
+        assert_eq!(self.level_count(), other.level_count(), "level mismatch");
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+    }
+
+    fn zip_with(&self, other: &Self, f: fn(u64, u64, u64) -> u64) -> Self {
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            for (o, (&x, &y)) in limb
+                .iter_mut()
+                .zip(self.limbs[i].iter().zip(&other.limbs[i]))
+            {
+                *o = f(x, y, q);
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
+    }
+
+    /// Limb-wise sum over the whole batch.
+    pub fn add(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        self.zip_with(other, add_mod)
+    }
+
+    /// Limb-wise difference over the whole batch.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        self.zip_with(other, sub_mod)
+    }
+
+    /// Limb-wise pointwise product over the whole batch — one fused
+    /// `batch · N`-wide VecModMul per limb.
+    ///
+    /// # Panics
+    /// Panics if either operand is in the coefficient domain.
+    pub fn mul_pointwise(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        assert_eq!(
+            self.domain,
+            Domain::Evaluation,
+            "pointwise products require the evaluation domain"
+        );
+        self.zip_with(other, mul_mod)
+    }
+
+    /// Pointwise product with a single polynomial broadcast across the
+    /// batch (e.g. a switching-key limb multiplying every batch entry).
+    ///
+    /// # Panics
+    /// Panics on basis/domain mismatch or coefficient-domain operands.
+    pub fn mul_pointwise_poly(&self, other: &RnsPoly) -> Self {
+        assert_eq!(self.ctx.n(), other.context().n(), "degree mismatch");
+        assert_eq!(self.level_count(), other.level_count(), "level mismatch");
+        assert_eq!(self.domain, other.domain(), "domain mismatch");
+        assert_eq!(
+            self.domain,
+            Domain::Evaluation,
+            "pointwise products require the evaluation domain"
+        );
+        let n = self.ctx.n();
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            let w = &other.limbs()[i];
+            for (seg_out, seg_in) in limb.chunks_mut(n).zip(self.limbs[i].chunks(n)) {
+                for ((o, &x), &y) in seg_out.iter_mut().zip(seg_in).zip(w) {
+                    *o = mul_mod(x, y, q);
+                }
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
+    }
+
+    /// Negation over the whole batch.
+    pub fn neg(&self) -> Self {
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            for (o, &x) in limb.iter_mut().zip(&self.limbs[i]) {
+                *o = neg_mod(x, q);
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
+    }
+
+    /// Multiplies limb `i` by scalar `s[i]` across the whole batch.
+    ///
+    /// # Panics
+    /// Panics if `s.len() != level_count()`.
+    pub fn mul_scalar_per_limb(&self, s: &[u64]) -> Self {
+        assert_eq!(s.len(), self.level_count());
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            let si = s[i] % q;
+            for (o, &x) in limb.iter_mut().zip(&self.limbs[i]) {
+                *o = mul_mod(x, si, q);
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
+    }
+
+    /// Galois automorphism `σ_g` applied to every batch entry
+    /// (coefficient domain).
+    pub fn automorphism(&self, g: u64) -> Self {
+        assert!(g % 2 == 1, "Galois elements must be odd");
+        assert_eq!(
+            self.domain,
+            Domain::Coefficient,
+            "reference automorphism operates on coefficients"
+        );
+        let n = self.ctx.n();
+        let two_n = 2 * n as u64;
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            for (seg_out, seg_in) in limb.chunks_mut(n).zip(self.limbs[i].chunks(n)) {
+                for (j, &aj) in seg_in.iter().enumerate() {
+                    if aj == 0 {
+                        continue;
+                    }
+                    let e = (j as u64 * (g % two_n)) % two_n;
+                    if e < n as u64 {
+                        seg_out[e as usize] = add_mod(seg_out[e as usize], aj, q);
+                    } else {
+                        let idx = (e - n as u64) as usize;
+                        seg_out[idx] = sub_mod(seg_out[idx], aj, q);
+                    }
+                }
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
+    }
+
+    /// Drops trailing limbs down to `new_ctx` (a prefix of this batch's
+    /// basis) in one step — the batched modulus-drop shape.
+    ///
+    /// # Panics
+    /// Panics if `new_ctx` is not a prefix of the current basis.
+    pub fn truncate_to(&self, new_ctx: Arc<RnsContext>) -> Self {
+        let l = new_ctx.level_count();
+        assert!(l >= 1 && l <= self.level_count(), "cannot raise levels");
+        assert_eq!(new_ctx.n(), self.ctx.n(), "degree mismatch");
+        assert_eq!(
+            new_ctx.moduli(),
+            &self.ctx.moduli()[..l],
+            "target basis must be a prefix"
+        );
+        Self {
+            ctx: new_ctx,
+            batch: self.batch,
+            limbs: self.limbs[..l].to_vec(),
+            domain: self.domain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_math::primes;
+
+    fn ctx(logn: u32, l: usize) -> Arc<RnsContext> {
+        let n = 1usize << logn;
+        let moduli = primes::ntt_prime_chain(28, n as u64, l).unwrap();
+        Arc::new(RnsContext::new(n, moduli))
+    }
+
+    fn sample_polys(c: &Arc<RnsContext>, batch: usize, seed: i64) -> Vec<RnsPoly> {
+        (0..batch as i64)
+            .map(|b| {
+                let coeffs: Vec<i64> = (0..c.n() as i64)
+                    .map(|j| (j * 7 + b * 13 + seed) % 97 - 48)
+                    .collect();
+                RnsPoly::from_signed_coeffs(c.clone(), &coeffs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let c = ctx(5, 3);
+        let polys = sample_polys(&c, 4, 1);
+        let pb = PolyBatch::from_polys(&polys);
+        assert_eq!(pb.batch(), 4);
+        let back = pb.to_polys();
+        for (a, b) in polys.iter().zip(&back) {
+            assert_eq!(a.limbs(), b.limbs());
+            assert_eq!(a.domain(), b.domain());
+        }
+    }
+
+    #[test]
+    fn batched_ntt_matches_sequential() {
+        let c = ctx(6, 3);
+        let polys = sample_polys(&c, 5, 2);
+        let mut pb = PolyBatch::from_polys(&polys);
+        pb.to_evaluation();
+        for (b, p) in polys.iter().enumerate() {
+            let mut want = p.clone();
+            want.to_evaluation();
+            assert_eq!(pb.poly(b).limbs(), want.limbs(), "poly {b}");
+        }
+        pb.to_coefficient();
+        for (b, p) in polys.iter().enumerate() {
+            assert_eq!(pb.poly(b).limbs(), p.limbs(), "roundtrip poly {b}");
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_match_sequential() {
+        let c = ctx(5, 2);
+        let xs = sample_polys(&c, 3, 3);
+        let ys = sample_polys(&c, 3, 11);
+        let bx = PolyBatch::from_polys(&xs);
+        let by = PolyBatch::from_polys(&ys);
+        let sum = bx.add(&by);
+        let diff = bx.sub(&by);
+        let neg = bx.neg();
+        for b in 0..3 {
+            assert_eq!(sum.poly(b).limbs(), xs[b].add(&ys[b]).limbs());
+            assert_eq!(diff.poly(b).limbs(), xs[b].sub(&ys[b]).limbs());
+            assert_eq!(neg.poly(b).limbs(), xs[b].neg().limbs());
+        }
+    }
+
+    #[test]
+    fn pointwise_and_broadcast_match_sequential() {
+        let c = ctx(5, 2);
+        let xs = sample_polys(&c, 3, 5);
+        let ys = sample_polys(&c, 3, 17);
+        let mut bx = PolyBatch::from_polys(&xs);
+        let mut by = PolyBatch::from_polys(&ys);
+        bx.to_evaluation();
+        by.to_evaluation();
+        let prod = bx.mul_pointwise(&by);
+        let mut w = ys[0].clone();
+        w.to_evaluation();
+        let bcast = bx.mul_pointwise_poly(&w);
+        for b in 0..3 {
+            let mut ex = xs[b].clone();
+            ex.to_evaluation();
+            let mut ey = ys[b].clone();
+            ey.to_evaluation();
+            assert_eq!(prod.poly(b).limbs(), ex.mul_pointwise(&ey).limbs());
+            assert_eq!(bcast.poly(b).limbs(), ex.mul_pointwise(&w).limbs());
+        }
+    }
+
+    #[test]
+    fn automorphism_and_scalar_match_sequential() {
+        let c = ctx(5, 3);
+        let xs = sample_polys(&c, 4, 9);
+        let pb = PolyBatch::from_polys(&xs);
+        let rot = pb.automorphism(5);
+        let s = vec![3u64, 1, 7];
+        let scaled = pb.mul_scalar_per_limb(&s);
+        for (b, x) in xs.iter().enumerate() {
+            assert_eq!(rot.poly(b).limbs(), x.automorphism(5).limbs());
+            assert_eq!(scaled.poly(b).limbs(), x.mul_scalar_per_limb(&s).limbs());
+        }
+    }
+
+    #[test]
+    fn truncate_matches_sequential_drop() {
+        let c = ctx(4, 3);
+        let xs = sample_polys(&c, 2, 21);
+        let pb = PolyBatch::from_polys(&xs);
+        let c2 = Arc::new(c.truncated(2));
+        let t = pb.truncate_to(c2.clone());
+        assert_eq!(t.level_count(), 2);
+        for (b, x) in xs.iter().enumerate() {
+            let c2b = Arc::new(c.truncated(2));
+            assert_eq!(t.poly(b).limbs(), x.drop_last_limb(c2b).limbs());
+        }
+    }
+
+    #[test]
+    fn zero_evaluation_is_ntt_of_zero() {
+        let c = ctx(4, 2);
+        let mut z = PolyBatch::zero(c.clone(), 3);
+        z.to_evaluation();
+        let ze = PolyBatch::zero_evaluation(c, 3);
+        assert_eq!(z.limbs(), ze.limbs());
+        assert_eq!(z.domain(), ze.domain());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn mixed_domain_rejected() {
+        let c = ctx(4, 2);
+        let xs = sample_polys(&c, 2, 1);
+        let mut e = PolyBatch::from_polys(&xs);
+        e.to_evaluation();
+        let coeff = PolyBatch::from_polys(&xs);
+        let _ = e.add(&coeff);
+    }
+}

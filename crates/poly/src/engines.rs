@@ -23,6 +23,7 @@
 use crate::ntt;
 use crate::tables::NttTables;
 use cross_math::modops::{add_mod, mul_mod};
+use cross_math::par;
 use std::sync::Arc;
 
 /// Ordering of an engine's forward-transform output.
@@ -50,6 +51,32 @@ pub trait NttEngine {
     fn forward(&self, a: &[u64]) -> Vec<u64>;
     /// Inverse transform; accepts this engine's own output ordering.
     fn inverse(&self, a: &[u64]) -> Vec<u64>;
+
+    /// Batched forward transform over `batch` polynomials stored
+    /// back-to-back in `a` (`a[b·N .. (b+1)·N]` is polynomial `b`).
+    ///
+    /// The default implementation loops [`NttEngine::forward`]; engines
+    /// with a matrix formulation override it to fuse the batch into a
+    /// wider kernel. Results are bit-identical either way.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != batch · N`.
+    fn forward_batch(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let n = self.tables().n();
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        a.chunks(n).flat_map(|p| self.forward(p)).collect()
+    }
+
+    /// Batched inverse transform (layout as in
+    /// [`NttEngine::forward_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != batch · N`.
+    fn inverse_batch(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let n = self.tables().n();
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        a.chunks(n).flat_map(|p| self.inverse(p)).collect()
+    }
 }
 
 /// Dense modular matrix product `(m×k) @ (k×n) mod q`, row-major.
@@ -69,6 +96,80 @@ pub fn matmul_mod(a: &[u64], b: &[u64], m: usize, k: usize, n: usize, q: u64) ->
             out[i * n + j] = (acc % q as u128) as u64;
         }
     }
+    out
+}
+
+/// Computes output rows `[row0, row0 + rows)` of `(m×k)@(k×n) mod q`
+/// into `out` with the cache-friendly `i-t-j` loop order: the inner
+/// loop streams one contiguous row of `b` with plain `u64`
+/// multiply-adds (autovectorizable), folding into `u128` totals every
+/// `block` terms so no accumulator ever overflows. The exact integer
+/// sum mod `q` is what [`matmul_mod`] computes, so results are
+/// bit-identical.
+fn matmul_mod_rows(a: &[u64], b: &[u64], k: usize, n: usize, q: u64, row0: usize, out: &mut [u64]) {
+    // Per-product u64 bound: operands < q ≤ 2^32 keep av·bv < 2^64.
+    assert!(q <= 1 << 32, "blocked kernel requires q <= 2^32");
+    // Largest number of k·(q-1)² products a u64 accumulator holds.
+    let qm1 = (q - 1) as u128;
+    let block = (u128::from(u64::MAX) / (qm1 * qm1).max(1)).max(1) as usize;
+    let mut acc64 = vec![0u64; n];
+    let mut acc128 = vec![0u128; n];
+    for (ri, orow) in out.chunks_mut(n).enumerate() {
+        let i = row0 + ri;
+        acc128.fill(0);
+        let mut tb = 0usize;
+        while tb < k {
+            let tend = (tb + block).min(k);
+            acc64.fill(0);
+            for t in tb..tend {
+                let av = a[i * k + t];
+                if av == 0 {
+                    continue;
+                }
+                let brow = &b[t * n..(t + 1) * n];
+                for (acc, &bv) in acc64.iter_mut().zip(brow) {
+                    // av·bv < 2^64 (q < 2^32) and ≤ `block` terms
+                    // accumulate, so this cannot wrap.
+                    *acc += av * bv;
+                }
+            }
+            for (wide, &narrow) in acc128.iter_mut().zip(&acc64) {
+                *wide += narrow as u128;
+            }
+            tb = tend;
+        }
+        for (o, &acc) in orow.iter_mut().zip(&acc128) {
+            *o = (acc % q as u128) as u64;
+        }
+    }
+}
+
+/// [`matmul_mod`] with the blocked row kernel, parallelized over
+/// output-row blocks on the scoped-thread pool when cores are
+/// available. Bit-identical to the serial oracle (each output element
+/// is the same exact integer dot product reduced mod `q`); the win is
+/// contiguous `u64` streaming instead of strided `u128` dot products —
+/// the layout the batch-major pipeline feeds.
+pub fn matmul_mod_par(a: &[u64], b: &[u64], m: usize, k: usize, n: usize, q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    if q > 1 << 32 {
+        // Wide moduli would overflow the u64 per-product bound of the
+        // blocked kernel; use the per-product u128 oracle instead.
+        return matmul_mod(a, b, m, k, n, q);
+    }
+    let mut out = vec![0u64; m * n];
+    // Below this many multiply-accumulates thread spawning dominates.
+    const PAR_THRESHOLD: usize = 1 << 18;
+    let workers = par::parallelism();
+    if workers == 1 || m < 2 || m.saturating_mul(k).saturating_mul(n) < PAR_THRESHOLD {
+        matmul_mod_rows(a, b, k, n, q, 0, &mut out);
+        return out;
+    }
+    let rows_per_block = m.div_ceil(workers);
+    par::par_chunks_mut(&mut out, rows_per_block * n, |blk, chunk| {
+        matmul_mod_rows(a, b, k, n, q, blk * rows_per_block, chunk);
+    });
     out
 }
 
@@ -320,6 +421,117 @@ impl NttEngine for FourStepNtt {
         yt
     }
 
+    /// Fused batched forward: the batch joins the streamed matmul
+    /// dimension — step 1 becomes `W_R @ [A₀ | A₁ | …]` (`R × C·batch`)
+    /// and step 4 becomes `W_Cᵀ @ [X₀ᵀ | X₁ᵀ | …]` (`C × R·batch`), so
+    /// both matrix products run once per batch instead of once per
+    /// polynomial. Bit-identical to looping [`NttEngine::forward`].
+    fn forward_batch(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c) = (self.r, self.c);
+        let n = r * c;
+        let q = self.tables.q();
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        // Column-stack the batch: stk[rr][b·C + cc] = a_b[rr·C + cc].
+        let cb = c * batch;
+        let mut stk = vec![0u64; r * cb];
+        for b in 0..batch {
+            for rr in 0..r {
+                stk[rr * cb + b * c..rr * cb + b * c + c]
+                    .copy_from_slice(&a[b * n + rr * c..b * n + rr * c + c]);
+            }
+        }
+        // Step 1: one fused matmul over the C·batch streamed dimension.
+        let x = matmul_mod_par(&self.w_r, &stk, r, r, cb, q);
+        // Step 2: twiddles tile across the batch blocks of each row.
+        let mut x2 = vec![0u64; r * cb];
+        for k1 in 0..r {
+            for b in 0..batch {
+                for cc in 0..c {
+                    x2[k1 * cb + b * c + cc] =
+                        mul_mod(x[k1 * cb + b * c + cc], self.twiddle[k1 * c + cc], q);
+                }
+            }
+        }
+        // Step 3: per-polynomial transpose into one C × R·batch matrix.
+        let rb = r * batch;
+        let mut xt = vec![0u64; c * rb];
+        for b in 0..batch {
+            for k1 in 0..r {
+                for cc in 0..c {
+                    xt[cc * rb + b * r + k1] = x2[k1 * cb + b * c + cc];
+                }
+            }
+        }
+        // Step 4: one fused matmul; W_Cᵀ built once for the whole batch.
+        let mut w_c_t = vec![0u64; c * c];
+        for cc in 0..c {
+            for k2 in 0..c {
+                w_c_t[k2 * c + cc] = self.w_c[cc * c + k2];
+            }
+        }
+        let yt = matmul_mod_par(&w_c_t, &xt, c, c, rb, q);
+        // De-stack: out_b[k2·R + k1] = yt[k2][b·R + k1].
+        let mut out = vec![0u64; batch * n];
+        for b in 0..batch {
+            for k2 in 0..c {
+                out[b * n + k2 * r..b * n + k2 * r + r]
+                    .copy_from_slice(&yt[k2 * rb + b * r..k2 * rb + b * r + r]);
+            }
+        }
+        out
+    }
+
+    /// Fused batched inverse (mirror of
+    /// [`FourStepNtt::forward_batch`]); bit-identical to looping
+    /// [`NttEngine::inverse`].
+    fn inverse_batch(&self, a: &[u64], batch: usize) -> Vec<u64> {
+        let (r, c) = (self.r, self.c);
+        let n = r * c;
+        let q = self.tables.q();
+        assert_eq!(a.len(), batch * n, "batch shape mismatch");
+        // Column-stack natural-order inputs as C × R·batch.
+        let rb = r * batch;
+        let mut yt = vec![0u64; c * rb];
+        for b in 0..batch {
+            for k2 in 0..c {
+                yt[k2 * rb + b * r..k2 * rb + b * r + r]
+                    .copy_from_slice(&a[b * n + k2 * r..b * n + k2 * r + r]);
+            }
+        }
+        let mut v_c_t = vec![0u64; c * c];
+        for k2 in 0..c {
+            for cc in 0..c {
+                v_c_t[cc * c + k2] = self.v_c[k2 * c + cc];
+            }
+        }
+        // Undo step 4 with one fused matmul over R·batch columns.
+        let zt = matmul_mod_par(&v_c_t, &yt, c, c, rb, q);
+        // Transpose back per polynomial + inverse twiddle, column-stacked
+        // as R × C·batch for the fused step-1 undo.
+        let cb = c * batch;
+        let mut z = vec![0u64; r * cb];
+        for b in 0..batch {
+            for cc in 0..c {
+                for k1 in 0..r {
+                    z[k1 * cb + b * c + cc] =
+                        mul_mod(zt[cc * rb + b * r + k1], self.twiddle_inv[k1 * c + cc], q);
+                }
+            }
+        }
+        let w = matmul_mod_par(&self.v_r, &z, r, r, cb, q);
+        // De-stack + final scale.
+        let mut out = vec![0u64; batch * n];
+        for b in 0..batch {
+            for rr in 0..r {
+                for cc in 0..c {
+                    out[b * n + rr * c + cc] =
+                        mul_mod(w[rr * cb + b * c + cc], self.final_scale[rr * c + cc], q);
+                }
+            }
+        }
+        out
+    }
+
     fn inverse(&self, a: &[u64]) -> Vec<u64> {
         let (r, c) = (self.r, self.c);
         let t = &self.tables;
@@ -465,5 +677,57 @@ mod tests {
     fn four_step_rejects_bad_factorization() {
         let t = tables(4);
         let _ = FourStepNtt::new(t, 4, 8);
+    }
+
+    #[test]
+    fn batched_default_equals_loop() {
+        let t = tables(5);
+        let engines: Vec<Box<dyn NttEngine>> = vec![
+            Box::new(NaiveNtt::new(t.clone())),
+            Box::new(CooleyTukeyNtt::new(t.clone())),
+        ];
+        let batch = 3usize;
+        let a: Vec<u64> = sample(batch * t.n(), t.q());
+        for e in &engines {
+            let fused = e.forward_batch(&a, batch);
+            let looped: Vec<u64> = a.chunks(t.n()).flat_map(|p| e.forward(p)).collect();
+            assert_eq!(fused, looped, "{} forward", e.name());
+            assert_eq!(e.inverse_batch(&fused, batch), a, "{} roundtrip", e.name());
+        }
+    }
+
+    #[test]
+    fn four_step_fused_batch_bit_exact() {
+        for (logn, r, batch) in [(6u32, 8usize, 1usize), (6, 8, 4), (8, 16, 7), (10, 32, 3)] {
+            let t = tables(logn);
+            let c = t.n() / r;
+            let fs = FourStepNtt::new(t.clone(), r, c);
+            let a: Vec<u64> = sample(batch * t.n(), t.q());
+            let fused = fs.forward_batch(&a, batch);
+            let looped: Vec<u64> = a.chunks(t.n()).flat_map(|p| fs.forward(p)).collect();
+            assert_eq!(fused, looped, "logn={logn} r={r} batch={batch}");
+            assert_eq!(
+                fs.inverse_batch(&fused, batch),
+                a,
+                "roundtrip logn={logn} r={r} batch={batch}"
+            );
+            let inv_looped: Vec<u64> = fused.chunks(t.n()).flat_map(|p| fs.inverse(p)).collect();
+            assert_eq!(fs.inverse_batch(&fused, batch), inv_looped);
+        }
+    }
+
+    #[test]
+    fn matmul_mod_par_matches_serial() {
+        let q = 268_369_921u64;
+        // One shape under the parallel threshold, one above it.
+        for (m, k, n) in [(8usize, 8usize, 8usize), (64, 64, 64)] {
+            let a = sample(m * k, q);
+            let b: Vec<u64> = sample(k * n, q).iter().map(|&x| (x * 5 + 2) % q).collect();
+            assert_eq!(
+                matmul_mod_par(&a, &b, m, k, n, q),
+                matmul_mod(&a, &b, m, k, n, q),
+                "{m}x{k}x{n}"
+            );
+        }
     }
 }

@@ -26,6 +26,7 @@
 //! assert_eq!(inv, a);
 //! ```
 
+pub mod batch;
 pub mod engines;
 pub mod ntt;
 pub mod ring;
@@ -33,6 +34,7 @@ pub mod rns_poly;
 pub mod sampling;
 pub mod tables;
 
+pub use batch::PolyBatch;
 pub use engines::{CooleyTukeyNtt, FourStepNtt, NaiveNtt, NttEngine, OutputOrder};
 pub use ring::Poly;
 pub use rns_poly::{RnsContext, RnsPoly};

@@ -292,13 +292,27 @@ impl RnsPoly {
     /// remaining basis). Used by rescale and modulus switching.
     pub fn drop_last_limb(&self, new_ctx: Arc<RnsContext>) -> Self {
         assert_eq!(new_ctx.level_count(), self.level_count() - 1);
+        self.truncate_to(new_ctx)
+    }
+
+    /// Drops trailing limbs down to `new_ctx` (a prefix of this poly's
+    /// basis) in one step — the direct modulus-drop shape, avoiding one
+    /// reallocation per intermediate level.
+    ///
+    /// # Panics
+    /// Panics if `new_ctx` is not a prefix of the current basis.
+    pub fn truncate_to(&self, new_ctx: Arc<RnsContext>) -> Self {
+        let l = new_ctx.level_count();
+        assert!(l >= 1 && l <= self.level_count(), "cannot raise levels");
+        assert_eq!(new_ctx.n(), self.ctx.n(), "degree mismatch");
         assert_eq!(
             new_ctx.moduli(),
-            &self.ctx.moduli()[..self.level_count() - 1]
+            &self.ctx.moduli()[..l],
+            "target basis must be a prefix"
         );
         Self {
             ctx: new_ctx,
-            limbs: self.limbs[..self.level_count() - 1].to_vec(),
+            limbs: self.limbs[..l].to_vec(),
             domain: self.domain,
         }
     }

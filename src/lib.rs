@@ -25,6 +25,31 @@
 //! let out = ctx.decrypt(&sq, &keys.secret);
 //! assert!((out[5] - xs[5] * xs[5]).abs() < 1e-2);
 //! ```
+//!
+//! ## Batched execution
+//!
+//! Same-level ciphertexts pack into a batch-major
+//! [`BatchedCiphertext`](ckks::BatchedCiphertext), so every lowered
+//! kernel (NTT matmuls, BConv inner products, VecModOps) amortizes
+//! over the batch — bit-exact with the sequential loop:
+//!
+//! ```
+//! use cross::ckks::{BatchedCiphertext, CkksContext, CkksParams, Evaluator};
+//!
+//! let ctx = CkksContext::new(CkksParams::toy(), 2);
+//! let keys = ctx.generate_keys();
+//! let ev = Evaluator::new(&ctx);
+//! let msgs: Vec<Vec<f64>> =
+//!     (0..4).map(|b| vec![0.1 * b as f64; ctx.slot_count()]).collect();
+//! let cts: Vec<_> = msgs.iter().map(|m| ctx.encrypt(m, &keys.public)).collect();
+//! let batch = BatchedCiphertext::from_ciphertexts(&cts);
+//! let sq = ev.mult_batch(&batch, &batch, &keys.relin); // 4 ciphertexts, one fused pipeline
+//! for (b, ct) in sq.to_ciphertexts().iter().enumerate() {
+//!     let out = ctx.decrypt(ct, &keys.secret);
+//!     let want = (0.1 * b as f64) * (0.1 * b as f64);
+//!     assert!((out[0] - want).abs() < 1e-2);
+//! }
+//! ```
 
 pub use cross_baselines as baselines;
 pub use cross_ckks as ckks;

@@ -1,0 +1,200 @@
+//! Batched-vs-sequential equivalence properties.
+//!
+//! The batching contract of the whole stack: every batched path —
+//! `PolyBatch` domain conversions, the fused `FourStepNtt` /
+//! `Ntt3Plan` batch kernels (on every `TpuGeneration`), and the
+//! `BatchedCiphertext` evaluator operators — must be **bit-exact** with
+//! the corresponding loop over the single-item path, for random batches
+//! of random sizes.
+
+use cross::ckks::{BatchedCiphertext, CkksContext, CkksParams, Evaluator};
+use cross::core::mat::ntt3::{Ntt3Config, Ntt3Plan};
+use cross::core::modred::ModRed;
+use cross::math::primes;
+use cross::poly::rns_poly::{RnsContext, RnsPoly};
+use cross::poly::{FourStepNtt, NttEngine, NttTables, PolyBatch};
+use cross::tpu::{TpuGeneration, TpuSim};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tables(logn: u32) -> Arc<NttTables> {
+    let n = 1usize << logn;
+    Arc::new(NttTables::new(
+        n,
+        primes::ntt_prime(28, n as u64, 0).unwrap(),
+    ))
+}
+
+/// Deterministic pseudo-random residues from a seed (keeps the heavy
+/// strategy machinery out of the hot path).
+fn residues(len: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect()
+}
+
+fn messages(slots: usize, batch: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..batch)
+        .map(|b| {
+            residues(slots, 1 << 20, seed.wrapping_add(b as u64 * 7919))
+                .iter()
+                .map(|&r| r as f64 / (1u64 << 21) as f64 - 0.25)
+                .collect()
+        })
+        .collect()
+}
+
+fn limbs_eq(a: &cross::ckks::Ciphertext, b: &cross::ckks::Ciphertext) -> bool {
+    a.c0.limbs() == b.c0.limbs()
+        && a.c1.limbs() == b.c1.limbs()
+        && a.level == b.level
+        && a.scale == b.scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ntt3_batched_forward_inverse_all_generations(
+        seed in any::<u64>(),
+        batch in 1usize..6,
+    ) {
+        let t = tables(6);
+        let n = t.n();
+        let plan = Ntt3Plan::new(
+            t.clone(),
+            Ntt3Config { r: 8, c: 8, modred: ModRed::Montgomery, embed_bitrev: true },
+        );
+        let a = residues(batch * n, t.q(), seed);
+        for gen in TpuGeneration::ALL {
+            let mut s_fused = TpuSim::new(gen);
+            let fused = plan.forward_batch_on_tpu(&mut s_fused, &a, batch);
+            let mut s_loop = TpuSim::new(gen);
+            let looped: Vec<u64> = a
+                .chunks(n)
+                .flat_map(|p| plan.forward_on_tpu(&mut s_loop, p))
+                .collect();
+            prop_assert_eq!(&fused, &looped, "forward {gen:?}");
+            let mut s_inv = TpuSim::new(gen);
+            let back = plan.inverse_batch_on_tpu(&mut s_inv, &fused, batch);
+            prop_assert_eq!(&back, &a, "roundtrip {gen:?}");
+        }
+    }
+
+    #[test]
+    fn four_step_batched_equivalence(
+        seed in any::<u64>(),
+        batch in 1usize..6,
+    ) {
+        let t = tables(6);
+        let n = t.n();
+        let fs = FourStepNtt::new(t.clone(), 8, 8);
+        let a = residues(batch * n, t.q(), seed);
+        let fused = fs.forward_batch(&a, batch);
+        let looped: Vec<u64> = a.chunks(n).flat_map(|p| fs.forward(p)).collect();
+        prop_assert_eq!(&fused, &looped);
+        prop_assert_eq!(&fs.inverse_batch(&fused, batch), &a);
+    }
+
+    #[test]
+    fn poly_batch_domain_conversion_equivalence(
+        seed in any::<u64>(),
+        batch in 1usize..5,
+    ) {
+        let n = 1usize << 6;
+        let moduli = primes::ntt_prime_chain(28, n as u64, 3).unwrap();
+        let ctx = Arc::new(RnsContext::new(n, moduli));
+        let polys: Vec<RnsPoly> = (0..batch)
+            .map(|b| {
+                let limbs: Vec<Vec<u64>> = ctx
+                    .moduli()
+                    .iter()
+                    .map(|&q| residues(n, q, seed.wrapping_add(b as u64 * 31)))
+                    .collect();
+                RnsPoly::from_limbs(ctx.clone(), limbs, cross::poly::ring::Domain::Coefficient)
+            })
+            .collect();
+        let mut pb = PolyBatch::from_polys(&polys);
+        pb.to_evaluation();
+        for (b, p) in polys.iter().enumerate() {
+            let mut want = p.clone();
+            want.to_evaluation();
+            prop_assert_eq!(pb.poly(b).limbs(), want.limbs(), "poly {b}");
+        }
+        pb.to_coefficient();
+        for (b, p) in polys.iter().enumerate() {
+            prop_assert_eq!(pb.poly(b).limbs(), p.limbs(), "roundtrip {b}");
+        }
+    }
+
+    #[test]
+    fn mult_batch_equivalence(seed in any::<u64>(), batch in 1usize..4) {
+        let ctx = CkksContext::new(CkksParams::toy(), seed ^ 0xC0FFEE);
+        let kp = ctx.generate_keys();
+        let ev = Evaluator::new(&ctx);
+        let xs: Vec<_> = messages(ctx.slot_count(), batch, seed)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let ys: Vec<_> = messages(ctx.slot_count(), batch, seed.wrapping_add(1))
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let got = ev
+            .mult_batch(
+                &BatchedCiphertext::from_ciphertexts(&xs),
+                &BatchedCiphertext::from_ciphertexts(&ys),
+                &kp.relin,
+            )
+            .to_ciphertexts();
+        for b in 0..batch {
+            let want = ev.mult(&xs[b], &ys[b], &kp.relin);
+            prop_assert!(limbs_eq(&got[b], &want), "entry {b}");
+        }
+    }
+
+    #[test]
+    fn rotate_batch_equivalence(seed in any::<u64>(), batch in 1usize..4) {
+        let ctx = CkksContext::new(CkksParams::toy(), seed ^ 0xBEEF);
+        let kp = ctx.generate_keys();
+        let rk = ctx.generate_rotation_key(&kp.secret, 1);
+        let ev = Evaluator::new(&ctx);
+        let cts: Vec<_> = messages(ctx.slot_count(), batch, seed)
+            .iter()
+            .map(|m| ctx.encrypt(m, &kp.public))
+            .collect();
+        let got = ev
+            .rotate_batch(&BatchedCiphertext::from_ciphertexts(&cts), 1, &rk)
+            .to_ciphertexts();
+        for (b, ct) in cts.iter().enumerate() {
+            prop_assert!(limbs_eq(&got[b], &ev.rotate(ct, 1, &rk)), "entry {b}");
+        }
+    }
+
+    #[test]
+    fn rescale_batch_equivalence(seed in any::<u64>(), batch in 1usize..4) {
+        let ctx = CkksContext::new(CkksParams::toy(), seed ^ 0xABCD);
+        let kp = ctx.generate_keys();
+        let ev = Evaluator::new(&ctx);
+        let cts: Vec<_> = messages(ctx.slot_count(), batch, seed)
+            .iter()
+            .map(|m| {
+                let ct = ctx.encrypt(m, &kp.public);
+                let pt = ctx.encode_at(m, ct.level, ctx.params().scale());
+                ev.mult_plain(&ct, &pt, ctx.params().scale())
+            })
+            .collect();
+        let got = ev
+            .rescale_batch(&BatchedCiphertext::from_ciphertexts(&cts))
+            .to_ciphertexts();
+        for (b, ct) in cts.iter().enumerate() {
+            prop_assert!(limbs_eq(&got[b], &ev.rescale(ct)), "entry {b}");
+        }
+    }
+}

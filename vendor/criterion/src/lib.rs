@@ -159,6 +159,86 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     }
     let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
     println!("  {label}: {ns:.1} ns/iter ({} iters)", b.iters_done);
+    results::record(label, ns);
+}
+
+/// Per-kernel ns/iter recording — the "bench baselines in CI" hook.
+///
+/// Every measurement is merged into a flat JSON map on disk
+/// (`BENCH_results.json` in the working directory, overridable via
+/// `CROSS_BENCH_RESULTS`), so `cargo bench` leaves a machine-diffable
+/// artifact that CI compares against the checked-in
+/// `BENCH_baseline.json` (warn-only).
+pub mod results {
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    /// Resolves the output path (`CROSS_BENCH_RESULTS` env override).
+    ///
+    /// Without an override the file lands at the *workspace* root (the
+    /// nearest ancestor of the working directory holding `Cargo.lock`),
+    /// so `cargo bench` — which runs bench executables from the package
+    /// directory — and the root-level diff tooling agree on one
+    /// artifact.
+    pub fn path() -> PathBuf {
+        if let Some(p) = std::env::var_os("CROSS_BENCH_RESULTS") {
+            return PathBuf::from(p);
+        }
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if dir.join("Cargo.lock").is_file() {
+                return dir.join("BENCH_results.json");
+            }
+            if !dir.pop() {
+                return PathBuf::from("BENCH_results.json");
+            }
+        }
+    }
+
+    /// Parses the flat `{"label": ns, …}` map produced by [`write`].
+    /// Unparseable lines are skipped (warn-only tooling downstream).
+    pub fn parse(text: &str) -> BTreeMap<String, f64> {
+        let mut map = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((label, value)) = rest.split_once("\":") else {
+                continue;
+            };
+            if let Ok(ns) = value.trim().parse::<f64>() {
+                map.insert(label.to_string(), ns);
+            }
+        }
+        map
+    }
+
+    /// Serializes a result map as deterministic, diff-friendly JSON.
+    pub fn write(map: &BTreeMap<String, f64>) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (label, ns) in map {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{label}\": {ns:.1}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Merges one measurement into the on-disk result map. Failures are
+    /// silently ignored — recording must never fail a bench run.
+    pub fn record(label: &str, ns: f64) {
+        let p = path();
+        let mut map = std::fs::read_to_string(&p)
+            .map(|t| parse(&t))
+            .unwrap_or_default();
+        map.insert(label.to_string(), ns);
+        let _ = std::fs::write(&p, write(&map));
+    }
 }
 
 /// Mirrors `criterion::criterion_group!`: bundles benchmark functions
@@ -192,6 +272,11 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("stub");
         g.sample_size(10);
+        // Keep the recording artifact out of the source tree.
+        std::env::set_var(
+            "CROSS_BENCH_RESULTS",
+            std::env::temp_dir().join(format!("cross_bench_stub_{}.json", std::process::id())),
+        );
         let mut hits = 0u64;
         g.bench_function("count", |b| b.iter(|| hits += 1));
         g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &x| {
@@ -199,6 +284,25 @@ mod tests {
         });
         g.finish();
         assert!(hits > 0);
+        // Measurements were merged into the JSON artifact.
+        let recorded = std::fs::read_to_string(results::path()).unwrap();
+        let map = results::parse(&recorded);
+        assert!(map.contains_key("stub/count"));
+        assert!(map.contains_key("stub/with_input/4"));
+        let _ = std::fs::remove_file(results::path());
+    }
+
+    #[test]
+    fn results_json_roundtrip() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("group/kernel/1024".to_string(), 123.4f64);
+        map.insert("other".to_string(), 0.5f64);
+        assert_eq!(results::parse(&results::write(&map)), map);
+        // Garbage lines are skipped, valid ones survive.
+        let partial = "{\nnot json\n  \"ok\": 7.0,\n}\n";
+        let parsed = results::parse(partial);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["ok"], 7.0);
     }
 
     #[test]
