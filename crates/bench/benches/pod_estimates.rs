@@ -1,0 +1,71 @@
+//! Records the sharded multi-chip Tab. VIII / Tab. IX estimates into
+//! `BENCH_results.json` so `bench_diff` tracks the PodSim numbers the
+//! bench bins print (ISSUE 3: sharded estimates under baseline
+//! tracking).
+//!
+//! Two kinds of entries:
+//! * `pod_model_eval/*` — real wall-clock of evaluating the pod cost
+//!   model (the stub's usual ns/iter measurement);
+//! * `pod_table8/*` / `pod_table9/*` — the *modeled* sharded latencies
+//!   themselves, recorded in nanoseconds via `criterion::results` so
+//!   drift in the interconnect model shows up in the baseline diff.
+
+use criterion::{criterion_group, criterion_main, results, Criterion};
+use cross_bench::{pod_for, vm_setups};
+use cross_ckks::bootstrap;
+use cross_ckks::costs::{self, ExecMode};
+use cross_ckks::params::ParamSet;
+
+fn pod_estimates(c: &mut Criterion) {
+    let params = ParamSet::D.params();
+
+    // Wall-clock of one full sharded backbone estimate (cost-model
+    // evaluation speed, not HE latency).
+    let mut g = c.benchmark_group("pod_model_eval");
+    g.bench_function("backbone_v6e8", |b| {
+        b.iter(|| {
+            let mut pod = pod_for(cross_tpu::TpuGeneration::V6e, 8);
+            criterion::black_box(costs::backbone_latencies_pod(
+                &mut pod,
+                &params,
+                ExecMode::Unfused,
+            ))
+        })
+    });
+    g.finish();
+
+    // Modeled sharded estimates, in ns so they share the results file's
+    // unit convention.
+    for (gen, cores, label) in vm_setups() {
+        let mut pod = pod_for(gen, cores);
+        let backbone = costs::backbone_latencies_pod(&mut pod, &params, ExecMode::Unfused);
+        for (name, rep, amortized) in &backbone {
+            let key = name.to_lowercase().replace('-', "_");
+            results::record(
+                &format!("pod_table8/{label}/{key}_critical"),
+                rep.latency_s * 1e9,
+            );
+            results::record(
+                &format!("pod_table8/{label}/{key}_amortized"),
+                amortized * 1e9,
+            );
+        }
+        let est = bootstrap::estimate_pod(&mut pod, &params);
+        results::record(
+            &format!("pod_table9/{label}/bootstrap_critical"),
+            est.critical.latency_s * 1e9,
+        );
+        results::record(
+            &format!("pod_table9/{label}/bootstrap_amortized"),
+            est.amortized_s * 1e9,
+        );
+        println!(
+            "  pod_table9/{label}: critical {:.1} ms, amortized {:.1} ms",
+            est.critical.latency_ms(),
+            est.amortized_ms()
+        );
+    }
+}
+
+criterion_group!(benches, pod_estimates);
+criterion_main!(benches);

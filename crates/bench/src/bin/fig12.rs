@@ -1,12 +1,17 @@
 //! Fig. 12: latency breakdown of HE-Mult and Rotate (v6e, Set D).
+//!
+//! Two views per operator: the paper's single-tensor-core profile
+//! (comparable to the published Fig. 12 percentages) and the sharded
+//! v6e-8 [`cross_tpu::PodSim`] profile, whose extra ICI slice is the
+//! communication the limb-parallel sharding pays.
 
-use cross_bench::banner;
-use cross_ckks::costs;
+use cross_bench::{banner, pod_for};
+use cross_ckks::costs::{self, ExecMode};
 use cross_ckks::params::ParamSet;
-use cross_tpu::TpuSim;
+use cross_tpu::{TpuGeneration, TpuSim};
 
 fn main() {
-    banner("Fig. 12: HE-Mult / Rotate latency breakdown (one v6e TC, Set D)");
+    banner("Fig. 12: HE-Mult / Rotate latency breakdown (v6e, Set D)");
     let params = ParamSet::D.params();
     let l = params.limbs;
 
@@ -24,20 +29,34 @@ fn main() {
             "paper: VecModOps 38% | Permutation 21% | INTT 14% | BConv 13% | Copy+Reshape 6% | NTT 5% | TypeConv 5% | Other 4%",
         ),
     ] {
-        let mut sim = TpuSim::new(cross_tpu::TpuGeneration::V6e);
         let key = if keyed {
             costs::switching_key_bytes(&params, l)
         } else {
             0.0
         };
+
+        let mut sim = TpuSim::new(TpuGeneration::V6e);
         let rep = costs::charge_op(&mut sim, &params, &counts, key, name);
-        println!("\n{name} (latency {:.0} us):", rep.latency_us());
+        println!("\n{name}, one tensor core (latency {:.0} us):", rep.latency_us());
         let total: f64 = rep.breakdown.iter().map(|(_, s)| s).sum();
         for (cat, s) in &rep.breakdown {
             println!("  {:>16}: {:>5.1}%", cat.label(), s / total * 100.0);
         }
         println!("  {paper}");
+
+        let mut pod = pod_for(TpuGeneration::V6e, 8);
+        let prep = costs::charge_op_pod(&mut pod, &params, &counts, key, name, ExecMode::Unfused);
+        println!(
+            "{name}, v6e-8 sharded (critical path {:.0} us, comm {:.1}%):",
+            prep.latency_us(),
+            prep.comm_fraction() * 100.0
+        );
+        let ptotal: f64 = prep.breakdown.iter().map(|(_, s)| s).sum();
+        for (cat, s) in &prep.breakdown {
+            println!("  {:>16}: {:>5.1}%", cat.label(), s / ptotal * 100.0);
+        }
     }
     println!("\nTakeaway: both operators are VPU-bound (VecModOps largest share);");
-    println!("Rotate adds the worst-case automorphism Permutation cost.");
+    println!("Rotate adds the worst-case automorphism Permutation cost, and the");
+    println!("sharded profile shows the ICI slice naive /cores scaling hides.");
 }

@@ -22,7 +22,7 @@
 //! | `helr`    | §V-D — encrypted logistic regression estimate |
 //! | `all`     | everything above in sequence |
 
-use cross_tpu::TpuGeneration;
+use cross_tpu::{PodSim, TpuGeneration};
 
 /// Prints a section banner.
 pub fn banner(title: &str) {
@@ -48,6 +48,11 @@ pub fn us(x: f64) -> String {
 
 /// `(generation, tensor cores, column label)` of the TPU-VM setups the
 /// evaluation sweeps (paper Tab. IV / VII / VIII).
+///
+/// Consumers build a [`PodSim`] per setup (see [`pod_for`]) and report
+/// its critical-path / amortized estimates, which charge explicit
+/// ICI/DCN communication — multi-core latency is **never** obtained by
+/// dividing a single-core number by the core count.
 pub fn vm_setups() -> Vec<(TpuGeneration, u32, &'static str)> {
     vec![
         (TpuGeneration::V4, 8, "v4-8"),
@@ -56,6 +61,21 @@ pub fn vm_setups() -> Vec<(TpuGeneration, u32, &'static str)> {
         (TpuGeneration::V6e, 4, "v6e-4"),
         (TpuGeneration::V6e, 8, "v6e-8"),
     ]
+}
+
+/// The sharded simulator for one [`vm_setups`] row: `cores` tensor
+/// cores of `gen` joined by the generation's published ICI/DCN
+/// topology.
+///
+/// ```
+/// use cross_bench::pod_for;
+/// use cross_tpu::TpuGeneration;
+/// let pod = pod_for(TpuGeneration::V6e, 8);
+/// assert_eq!(pod.num_cores(), 8);
+/// assert_eq!(pod.topology().hosts(), 1); // v6e-8 is a single host
+/// ```
+pub fn pod_for(gen: TpuGeneration, cores: u32) -> PodSim {
+    PodSim::new(gen, cores)
 }
 
 /// The Tab. VII NTT-throughput column setups.

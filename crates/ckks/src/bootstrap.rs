@@ -4,13 +4,13 @@
 //! of HE kernel invocations with each profiled realistic latency …
 //! worst case, assuming no pipeline or fusion" (§V-A). This module
 //! applies the identical methodology: kernel counts follow the packed
-//! bootstrapping structure of MAD [3] (ModRaise → CoeffToSlot →
+//! bootstrapping structure of MAD \[3\] (ModRaise → CoeffToSlot →
 //! EvalMod → SlotToCoeff with BSGS rotations and a Chebyshev-style sine
 //! approximation), multiplied by the simulator's per-kernel latencies.
 
-use crate::costs::{self, OpCounts};
+use crate::costs::{self, ExecMode, OpCounts};
 use crate::params::CkksParams;
-use cross_tpu::{Category, TpuSim};
+use cross_tpu::{Category, PodSim, TpuSim};
 
 /// Phase-by-phase kernel counts of one packed bootstrapping.
 #[derive(Debug, Clone, Default)]
@@ -28,7 +28,7 @@ pub struct BootstrapCounts {
 }
 
 impl BootstrapCounts {
-    /// Counts for the MAD-style packed bootstrapping [3] at `slots =
+    /// Counts for the MAD-style packed bootstrapping \[3\] at `slots =
     /// N/2`: Coeff↔Slot as 3-level radix-decomposed BSGS linear
     /// transforms with rotation hoisting (each level costs
     /// `≈ 2·s^{1/3}`-rotations-worth after hoisting), and a degree-31
@@ -73,58 +73,152 @@ impl BootstrapEstimate {
     }
 }
 
-/// Estimates packed bootstrapping on one tensor core of `sim`'s
-/// generation, at an average working level of `params.limbs`.
-pub fn estimate(sim: &mut TpuSim, params: &CkksParams) -> BootstrapEstimate {
-    let counts = BootstrapCounts::packed(params);
-    // Bootstrapping consumes levels as it runs; charge each kernel at
-    // the average working level L/2 (the paper's per-kernel latencies
-    // are likewise mid-pipeline profiles).
+/// The per-op kernel bundles one packed bootstrapping charges, at the
+/// average working level `l = max(L/2, 2)` (bootstrapping consumes
+/// levels as it runs; the paper's per-kernel latencies are likewise
+/// mid-pipeline profiles): `(name, counts, key bytes, invocations)`.
+///
+/// Both [`estimate`] and [`estimate_pod`] iterate this one list, so
+/// their charge sequences cannot diverge — which is what the
+/// 1-core/zero-link bit-identity contract of `tests/pod_model.rs`
+/// relies on.
+fn op_bundles(
+    params: &CkksParams,
+    counts: &BootstrapCounts,
+) -> Vec<(&'static str, OpCounts, f64, usize)> {
     let l = (params.limbs / 2).max(2);
     let key_bytes = costs::switching_key_bytes(params, l);
-    sim.reset();
-
-    // Rotations (each: automorphism + key switch).
-    let rot = costs::he_rotate_counts(params, l);
-    // Ct-ct multiplies.
-    let mult = costs::he_mult_counts(params, l);
-    // Plain multiplies: 2 VecModMul per limb + rescale handled below.
+    // Plain multiplies: 2 VecModMul per limb (rescales counted apart).
     let pmult = OpCounts {
         vec_mod_mul: 2 * l,
         ..OpCounts::default()
     };
-    let add = costs::he_add_counts(params, l);
-    let rescale = costs::he_rescale_counts(params, l);
+    vec![
+        (
+            "bootstrap-rotate",
+            costs::he_rotate_counts(params, l),
+            key_bytes,
+            counts.rotations,
+        ),
+        (
+            "bootstrap-mult",
+            costs::he_mult_counts(params, l),
+            key_bytes,
+            counts.ct_mults,
+        ),
+        ("bootstrap-pmult", pmult, 0.0, counts.plain_mults),
+        (
+            "bootstrap-add",
+            costs::he_add_counts(params, l),
+            0.0,
+            counts.additions,
+        ),
+        (
+            "bootstrap-rescale",
+            costs::he_rescale_counts(params, l),
+            0.0,
+            counts.rescales,
+        ),
+    ]
+}
 
-    let mut total = 0.0;
-    let mut acc: std::collections::BTreeMap<Category, f64> = Default::default();
-    let mut charge = |sim: &mut TpuSim, c: &OpCounts, key: f64, times: usize, name: &str| {
-        if times == 0 {
-            return 0.0;
-        }
-        let rep = costs::charge_op(sim, params, c, key, name);
-        for (cat, s) in &rep.breakdown {
-            *acc.entry(*cat).or_insert(0.0) += s * times as f64;
-        }
-        rep.latency_s * times as f64
-    };
-    total += charge(sim, &rot, key_bytes, counts.rotations, "bootstrap-rotate");
-    total += charge(sim, &mult, key_bytes, counts.ct_mults, "bootstrap-mult");
-    total += charge(sim, &pmult, 0.0, counts.plain_mults, "bootstrap-pmult");
-    total += charge(sim, &add, 0.0, counts.additions, "bootstrap-add");
-    total += charge(sim, &rescale, 0.0, counts.rescales, "bootstrap-rescale");
-
+/// Normalizes an accumulated category map into sorted fractions.
+fn normalize_breakdown(acc: std::collections::BTreeMap<Category, f64>) -> Vec<(Category, f64)> {
     let sum: f64 = acc.values().sum();
     let mut breakdown: Vec<(Category, f64)> = acc
         .into_iter()
         .map(|(c, s)| (c, if sum > 0.0 { s / sum } else { 0.0 }))
         .collect();
     breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    breakdown
+}
+
+/// Estimates packed bootstrapping on one tensor core of `sim`'s
+/// generation, at an average working level of `params.limbs / 2`.
+pub fn estimate(sim: &mut TpuSim, params: &CkksParams) -> BootstrapEstimate {
+    let counts = BootstrapCounts::packed(params);
+    sim.reset();
+
+    let mut total = 0.0;
+    let mut acc: std::collections::BTreeMap<Category, f64> = Default::default();
+    for (name, c, key, times) in op_bundles(params, &counts) {
+        if times == 0 {
+            continue;
+        }
+        let rep = costs::charge_op(sim, params, &c, key, name);
+        for (cat, s) in &rep.breakdown {
+            *acc.entry(*cat).or_insert(0.0) += s * times as f64;
+        }
+        total += rep.latency_s * times as f64;
+    }
 
     BootstrapEstimate {
         latency_s: total,
-        breakdown,
+        breakdown: normalize_breakdown(acc),
         counts,
+    }
+}
+
+/// Pod-level bootstrapping estimate: critical-path latency with
+/// limb-parallel sharding plus the batch-parallel amortized figure.
+#[derive(Debug, Clone)]
+pub struct PodBootstrapEstimate {
+    /// Limb-parallel critical-path estimate (one bootstrapping as fast
+    /// as the pod can run it; communication included in the breakdown
+    /// under the ICI/DCN categories).
+    pub critical: BootstrapEstimate,
+    /// Amortized seconds per bootstrapping when every core runs an
+    /// independent one (throughput serving): pod wall clock divided by
+    /// bootstrappings completed — sublinear in cores because the
+    /// switching-key broadcasts ride the interconnect.
+    pub amortized_s: f64,
+}
+
+impl PodBootstrapEstimate {
+    /// Amortized latency in milliseconds.
+    pub fn amortized_ms(&self) -> f64 {
+        self.amortized_s * 1e3
+    }
+}
+
+/// Estimates packed bootstrapping on a multi-core pod, sharding each
+/// HE kernel limb-parallel across the cores ([`costs::charge_op_pod`])
+/// and charging the interconnect explicitly. With a 1-core zero-link
+/// pod the critical estimate is bit-identical to [`estimate`].
+pub fn estimate_pod(pod: &mut PodSim, params: &CkksParams) -> PodBootstrapEstimate {
+    let counts = BootstrapCounts::packed(params);
+    pod.reset();
+
+    // The amortized estimate charges full (unsharded) ops, which must
+    // not perturb the critical-path cores' charge sequence — kernel
+    // deltas are floating-point sums over the accumulated trace, and
+    // the 1-core/zero-link bit-identity contract (tests/pod_model.rs)
+    // requires the critical sequence to match `estimate` exactly.
+    let mut amortized_pod = pod.clone();
+    let mut total = 0.0;
+    let mut amortized = 0.0;
+    let mut acc: std::collections::BTreeMap<Category, f64> = Default::default();
+    for (name, c, key, times) in op_bundles(params, &counts) {
+        if times == 0 {
+            continue;
+        }
+        let rep = costs::charge_op_pod(pod, params, &c, key, name, ExecMode::Unfused);
+        for (cat, s) in &rep.breakdown {
+            *acc.entry(*cat).or_insert(0.0) += s * times as f64;
+        }
+        total += rep.latency_s * times as f64;
+        amortized +=
+            costs::amortized_op_pod(&mut amortized_pod, params, &c, key, name, ExecMode::Unfused)
+                * times as f64;
+    }
+
+    PodBootstrapEstimate {
+        critical: BootstrapEstimate {
+            latency_s: total,
+            breakdown: normalize_breakdown(acc),
+            counts,
+        },
+        amortized_s: amortized,
     }
 }
 

@@ -111,7 +111,7 @@ impl CkksContext {
     }
 
     /// Limb indices of key-switching digit `j` at level `l`
-    /// (fixed-α partition of the full chain, [37]).
+    /// (fixed-α partition of the full chain, \[37\]).
     pub fn digit_range(&self, j: usize, l: usize) -> std::ops::Range<usize> {
         let alpha = self.params.digit_limbs();
         let start = j * alpha;

@@ -12,10 +12,26 @@
 use crate::params::CkksParams;
 use cross_core::modred::ModRed;
 use cross_core::plan;
-use cross_tpu::{Category, KernelReport, TpuSim};
+use cross_core::shard::{ShardPlan, ShardStrategy};
+use cross_tpu::{Category, KernelReport, PodKernelReport, PodSim, TpuSim};
 
 /// Chunks per 28-bit word on an 8-bit MXU.
 const K: usize = 4;
+
+/// How NTT/INTT limb-transforms inside an HE operator are lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The XLA-unfused lowering the paper profiles: step-3 matmuls stay
+    /// one call per polynomial (tile padding not amortized) and every
+    /// intermediate round-trips HBM (§V-E). The historical default.
+    #[default]
+    Unfused,
+    /// The fused batch-major lowering of
+    /// [`cross_core::Ntt3Plan::charge_forward_batch`]: step 3 runs as
+    /// one `(R·B × KC) @ (KC × KC)` matmul and intermediates stay in
+    /// VMEM, so only the operator's input/output streams HBM.
+    FusedBatch,
+}
 
 /// Bytes of XLA-materialized intermediates per transformed polynomial:
 /// post-step-1 u32, two byte-chunk forms, post-step-2 u32 and the
@@ -25,10 +41,16 @@ fn ntt_materialize_bytes(n: usize) -> f64 {
     (2 * (4 * n * 4 + 2 * n * K)) as f64
 }
 
-/// Charges one batch of `batch` forward/inverse NTTs at factorization
-/// `(r, c)` (the Fig. 10 row-3 mapping: BAT matmul / VPU twiddle /
-/// relayout / BAT matmul).
-pub fn charge_ntt_batch(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat: Category) {
+/// Steps 1–2 plus the step-3 chunk decomposition — charged
+/// identically by the unfused and fused lowerings (step 1 already
+/// streams the batch along its column dimension either way).
+fn charge_ntt_through_step3_chunks(
+    sim: &mut TpuSim,
+    r: usize,
+    c: usize,
+    batch: usize,
+    cat: Category,
+) {
     let n = r * c;
     // step 1: (KR × KR) @ (KR × C·batch) int8 matmul — the preknown-left
     // orientation fuses the batch along the streamed column dimension.
@@ -55,18 +77,17 @@ pub fn charge_ntt_batch(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat:
     );
     // relayout between the two batched matmul orientations
     sim.charge_reshape((n * batch * 4) as f64, Category::CopyReshape);
-    // step 3: (R × KC) @ (KC × KC) per polynomial — XLA keeps the batch
-    // dimension of the right-multiplication as separate matmul calls,
-    // so tile padding is NOT amortized across the batch.
+    // step 3 prologue: chunk decomposition for the right matmul.
     sim.charge_vpu(
         n * batch,
         2 * K as u32,
         Category::TypeConversion,
         "u32->chunks",
     );
-    for _ in 0..batch {
-        sim.charge_matmul_u8(r, K * c, K * c, cat);
-    }
+}
+
+/// Step-3 chunk merge + final reduction, shared by both lowerings.
+fn charge_ntt_step3_epilogue(sim: &mut TpuSim, n: usize, batch: usize) {
     sim.charge_vpu(n * batch, K as u32, Category::VecModOps, "merge");
     sim.charge_vpu(
         n * batch,
@@ -74,11 +95,44 @@ pub fn charge_ntt_batch(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat:
         Category::VecModOps,
         "mont reduce",
     );
+}
+
+/// Charges one batch of `batch` forward/inverse NTTs at factorization
+/// `(r, c)` (the Fig. 10 row-3 mapping: BAT matmul / VPU twiddle /
+/// relayout / BAT matmul).
+pub fn charge_ntt_batch(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat: Category) {
+    let n = r * c;
+    charge_ntt_through_step3_chunks(sim, r, c, batch, cat);
+    // step 3: (R × KC) @ (KC × KC) per polynomial — XLA keeps the batch
+    // dimension of the right-multiplication as separate matmul calls,
+    // so tile padding is NOT amortized across the batch.
+    for _ in 0..batch {
+        sim.charge_matmul_u8(r, K * c, K * c, cat);
+    }
+    charge_ntt_step3_epilogue(sim, n, batch);
     // XLA no-fusion materialization of intermediates through HBM.
     sim.charge_materialize(
         ntt_materialize_bytes(n) * batch as f64,
         Category::CopyReshape,
     );
+}
+
+/// Charges one batch of `batch` forward/inverse NTTs at factorization
+/// `(r, c)` under the **fused** batch-major lowering — the shapes of
+/// [`cross_core::Ntt3Plan::charge_forward_batch`]: step 3 is a single
+/// `(R·batch × KC) @ (KC × KC)` matmul (tile fill/drain amortized over
+/// the whole batch) and intermediates never leave VMEM, so the only
+/// HBM traffic on the compute path is the operator's own input/output
+/// stream.
+pub fn charge_ntt_batch_fused(sim: &mut TpuSim, r: usize, c: usize, batch: usize, cat: Category) {
+    let n = r * c;
+    charge_ntt_through_step3_chunks(sim, r, c, batch, cat);
+    // step 3: ONE row-stacked matmul for the whole batch.
+    sim.charge_matmul_u8(r * batch, K * c, K * c, cat);
+    charge_ntt_step3_epilogue(sim, n, batch);
+    // Fused kernel: only the batch's input read + output write touch
+    // HBM on the compute path.
+    sim.charge_materialize((2 * n * 4 * batch) as f64, Category::CopyReshape);
 }
 
 /// Charges the twiddle-parameter HBM load for an NTT plan at `(r, c)`.
@@ -226,27 +280,35 @@ pub fn he_add_counts(_params: &CkksParams, l: usize) -> OpCounts {
     }
 }
 
-/// Charges an [`OpCounts`] bundle onto the simulator as one kernel and
-/// returns its report. `key_bytes` models the switching-key HBM traffic.
-pub fn charge_op(
+/// Charges an [`OpCounts`] bundle onto one core as one kernel with an
+/// explicit NTT lowering mode and resident working set — the shared
+/// engine behind [`charge_op`], [`charge_op_mode`] and
+/// [`charge_op_pod`].
+fn charge_op_inner(
     sim: &mut TpuSim,
     params: &CkksParams,
     counts: &OpCounts,
     key_bytes: f64,
     name: &str,
+    mode: ExecMode,
+    working_set_bytes: f64,
 ) -> KernelReport {
     let n = params.n;
     let (r, c) = he_rc(n);
+    let ntt = |sim: &mut TpuSim, batch: usize, cat| match mode {
+        ExecMode::Unfused => charge_ntt_batch(sim, r, c, batch, cat),
+        ExecMode::FusedBatch => charge_ntt_batch_fused(sim, r, c, batch, cat),
+    };
     sim.begin_kernel(name);
     if key_bytes > 0.0 {
         sim.dma_in(key_bytes, "switching key");
     }
     if counts.ntt > 0 {
         charge_ntt_params(sim, r, c);
-        charge_ntt_batch(sim, r, c, counts.ntt, Category::NttMatMul);
+        ntt(sim, counts.ntt, Category::NttMatMul);
     }
     if counts.intt > 0 {
-        charge_ntt_batch(sim, r, c, counts.intt, Category::InttMatMul);
+        ntt(sim, counts.intt, Category::InttMatMul);
     }
     if counts.bconv > 0 {
         // modeled as one fused (N, K·bconv, K·bconv)-scale conversion
@@ -257,9 +319,146 @@ pub fn charge_op(
     if counts.automorphism > 0 {
         charge_automorphism_permutation(sim, n, counts.automorphism);
     }
-    // working set: ciphertext + key digits resident
-    sim.spill_check((params.ciphertext_bytes() * 3) as f64 + key_bytes, 1);
+    sim.spill_check(working_set_bytes, 1);
     sim.end_kernel()
+}
+
+/// Charges an [`OpCounts`] bundle onto the simulator as one kernel and
+/// returns its report. `key_bytes` models the switching-key HBM
+/// traffic. Uses the paper's XLA-unfused lowering
+/// ([`ExecMode::Unfused`]); see [`charge_op_mode`] for the fused
+/// batch-major estimate and [`charge_op_pod`] for multi-core sharding.
+pub fn charge_op(
+    sim: &mut TpuSim,
+    params: &CkksParams,
+    counts: &OpCounts,
+    key_bytes: f64,
+    name: &str,
+) -> KernelReport {
+    charge_op_mode(sim, params, counts, key_bytes, name, ExecMode::Unfused)
+}
+
+/// [`charge_op`] with an explicit NTT lowering mode.
+pub fn charge_op_mode(
+    sim: &mut TpuSim,
+    params: &CkksParams,
+    counts: &OpCounts,
+    key_bytes: f64,
+    name: &str,
+    mode: ExecMode,
+) -> KernelReport {
+    // working set: ciphertext + key digits resident
+    let ws = (params.ciphertext_bytes() * 3) as f64 + key_bytes;
+    charge_op_inner(sim, params, counts, key_bytes, name, mode, ws)
+}
+
+/// Charges an [`OpCounts`] bundle sharded **limb-parallel** across the
+/// cores of a pod and returns the pod-level report: per-core compute
+/// shrinks by the ceil split, while the communication the sharding
+/// actually requires is charged on the critical path —
+///
+/// * a switching-key *scatter* (each core receives the key rows for
+///   its limb shard) when the op key-switches,
+/// * an *all-gather* of the source-basis limb shards before BConv
+///   (every core needs all input limbs to produce its output limbs),
+/// * an *all-reduce* of the partial key-switch inner products (each
+///   core holds partial sums over its digit shard).
+///
+/// With one core and [`cross_tpu::topology::LinkSpec::ZERO_COST`]
+/// links this is bit-identical to [`charge_op`] on a lone [`TpuSim`]
+/// (pinned by `tests/pod_model.rs`).
+pub fn charge_op_pod(
+    pod: &mut PodSim,
+    params: &CkksParams,
+    counts: &OpCounts,
+    key_bytes: f64,
+    name: &str,
+    mode: ExecMode,
+) -> PodKernelReport {
+    let cores = pod.num_cores();
+    let plan = ShardPlan::new(ShardStrategy::LimbParallel, cores);
+    let comm_mark = pod.comm_trace().entries().len();
+
+    let ntt_split = plan.split(counts.ntt);
+    let intt_split = plan.split(counts.intt);
+    let bconv_split = plan.split(counts.bconv);
+    let vmul_split = plan.split(counts.vec_mod_mul);
+    let vadd_split = plan.split(counts.vec_mod_add);
+    let auto_split = plan.split(counts.automorphism);
+    let key_shard = plan.shard_bytes(key_bytes);
+    // Per-core resident set: the limb shard of ciphertext + key, plus —
+    // once actually sharded — the full source basis the BConv
+    // all-gather below lands on every core. (At one core the full
+    // ciphertext term already covers those limbs, keeping the
+    // bit-identity contract with `charge_op`.)
+    let gathered = if cores > 1 && counts.bconv > 0 {
+        (counts.bconv * params.n * 4) as f64
+    } else {
+        0.0
+    };
+    let ws = plan.shard_bytes((params.ciphertext_bytes() * 3) as f64) + key_shard + gathered;
+
+    let mut reports = Vec::with_capacity(cores);
+    for core_idx in 0..cores {
+        let shard = OpCounts {
+            ntt: ntt_split[core_idx],
+            intt: intt_split[core_idx],
+            bconv: bconv_split[core_idx],
+            vec_mod_mul: vmul_split[core_idx],
+            vec_mod_add: vadd_split[core_idx],
+            automorphism: auto_split[core_idx],
+        };
+        let sim = pod.core_mut(core_idx);
+        reports.push(charge_op_inner(
+            sim, params, &shard, key_shard, name, mode, ws,
+        ));
+    }
+
+    if key_bytes > 0.0 {
+        pod.scatter(key_bytes, "switching-key scatter");
+    }
+    if counts.bconv > 0 {
+        let shard_bytes = (plan.critical_units(counts.bconv) * params.n * 4) as f64;
+        pod.all_gather(shard_bytes, "bconv source-limb all-gather");
+    }
+    if key_bytes > 0.0 {
+        pod.all_reduce(
+            params.ciphertext_bytes() as f64,
+            "key-switch partial-sum all-reduce",
+        );
+    }
+
+    pod.assemble_report(name, &reports, comm_mark)
+}
+
+/// Amortized per-op seconds under **batch-parallel** sharding: every
+/// core runs one whole independent operation (the throughput-serving
+/// configuration), the switching key is broadcast once, and the wall
+/// clock for the `P` ops — `max(core latency) + broadcast` — is
+/// divided by the `P` operations actually completed. This is the only
+/// place a core count divides anything, and it divides *work done*,
+/// never a single op's latency.
+pub fn amortized_op_pod(
+    pod: &mut PodSim,
+    params: &CkksParams,
+    counts: &OpCounts,
+    key_bytes: f64,
+    name: &str,
+    mode: ExecMode,
+) -> f64 {
+    let cores = pod.num_cores();
+    let comm_before = pod.comm_seconds();
+    let mut max_latency = 0.0f64;
+    for core_idx in 0..cores {
+        let sim = pod.core_mut(core_idx);
+        let rep = charge_op_mode(sim, params, counts, key_bytes, name, mode);
+        max_latency = max_latency.max(rep.latency_s);
+    }
+    if key_bytes > 0.0 {
+        pod.broadcast(key_bytes, "switching-key broadcast");
+    }
+    let comm = pod.comm_seconds() - comm_before;
+    (max_latency + comm) / cores as f64
 }
 
 /// Switching-key bytes at level `l` (dnum digits × 2 polys × (l+k) limbs).
@@ -293,6 +492,34 @@ pub fn backbone_latencies(sim: &mut TpuSim, params: &CkksParams) -> [(String, Ke
         ("HE-Mult".into(), mult),
         ("Rescale".into(), rescale),
         ("Rotate".into(), rotate),
+    ]
+}
+
+/// Pod-level backbone estimate: for each of the four operators, the
+/// limb-parallel critical-path report ([`charge_op_pod`]) and the
+/// batch-parallel amortized per-op seconds ([`amortized_op_pod`]).
+pub fn backbone_latencies_pod(
+    pod: &mut PodSim,
+    params: &CkksParams,
+    mode: ExecMode,
+) -> [(String, PodKernelReport, f64); 4] {
+    let l = params.limbs;
+    let key = switching_key_bytes(params, l);
+    // Amortized estimates charge full (unsharded) ops on a cloned pod
+    // so they cannot perturb the critical-path cores' charge sequence
+    // (kernel deltas are floating-point sums over the accumulated
+    // trace; same hazard `bootstrap::estimate_pod` documents).
+    let mut amortized_pod = pod.clone();
+    let mut one = |counts: &OpCounts, key_bytes: f64, name: &str| {
+        let rep = charge_op_pod(pod, params, counts, key_bytes, name, mode);
+        let amortized = amortized_op_pod(&mut amortized_pod, params, counts, key_bytes, name, mode);
+        (name.to_string(), rep, amortized)
+    };
+    [
+        one(&he_add_counts(params, l), 0.0, "HE-Add"),
+        one(&he_mult_counts(params, l), key, "HE-Mult"),
+        one(&he_rescale_counts(params, l), 0.0, "Rescale"),
+        one(&he_rotate_counts(params, l), key, "Rotate"),
     ]
 }
 
@@ -368,6 +595,56 @@ mod tests {
             assert!(rep.latency_s > last, "{}", set.name());
             last = rep.latency_s;
         }
+    }
+
+    #[test]
+    fn fused_batch_mode_beats_unfused() {
+        // The fused lowering amortizes step-3 tile padding and keeps
+        // intermediates in VMEM — it must be strictly faster for every
+        // backbone op that transforms (ROADMAP "batched HE-op cost
+        // model").
+        let p = ParamSet::D.params();
+        for (counts, key) in [
+            (
+                he_mult_counts(&p, p.limbs),
+                switching_key_bytes(&p, p.limbs),
+            ),
+            (
+                he_rotate_counts(&p, p.limbs),
+                switching_key_bytes(&p, p.limbs),
+            ),
+            (he_rescale_counts(&p, p.limbs), 0.0),
+        ] {
+            let mut s_u = TpuSim::new(TpuGeneration::V6e);
+            let mut s_f = TpuSim::new(TpuGeneration::V6e);
+            let unfused = charge_op_mode(&mut s_u, &p, &counts, key, "u", ExecMode::Unfused);
+            let fused = charge_op_mode(&mut s_f, &p, &counts, key, "f", ExecMode::FusedBatch);
+            assert!(
+                fused.latency_s < unfused.latency_s,
+                "fused {} vs unfused {}",
+                fused.latency_s,
+                unfused.latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn pod_speedup_is_sublinear() {
+        let p = ParamSet::C.params();
+        let counts = he_mult_counts(&p, p.limbs);
+        let key = switching_key_bytes(&p, p.limbs);
+        let mut single = TpuSim::new(TpuGeneration::V6e);
+        let one = charge_op(&mut single, &p, &counts, key, "m").latency_s;
+        let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+        let rep = charge_op_pod(&mut pod, &p, &counts, key, "m", ExecMode::Unfused);
+        assert!(rep.latency_s < one, "8 cores must beat 1");
+        assert!(
+            rep.latency_s > one / 8.0,
+            "communication forbids linear speedup: {} vs {}",
+            rep.latency_s,
+            one / 8.0
+        );
+        assert!(rep.comm_s > 0.0, "keyed op must communicate");
     }
 
     #[test]

@@ -204,7 +204,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Hybrid key switching (paper [37]): digit-decomposes `d`,
+    /// Hybrid key switching (paper \[37\]): digit-decomposes `d`,
     /// base-extends each digit to `Q_l·P`, inner-products with the key
     /// digits, and divides by `P`. Returns `(out0, out1)` with
     /// `out0 + out1·s ≈ d·s'`. Delegates to the batch-1 case of

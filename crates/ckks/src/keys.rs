@@ -31,7 +31,7 @@ pub struct SwitchingKeyDigit {
     pub a: Vec<Vec<u64>>,
 }
 
-/// A hybrid key-switching key (`dnum` digits, [37]).
+/// A hybrid key-switching key (`dnum` digits, \[37\]).
 #[derive(Debug, Clone)]
 pub struct SwitchingKey {
     /// Per-digit key pairs.

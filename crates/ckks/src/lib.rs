@@ -1,7 +1,7 @@
 //! # cross-ckks
 //!
-//! A from-scratch leveled RNS-CKKS implementation (paper §II-A, [15],
-//! [14]) — the HE scheme substrate every CROSS evaluation runs on:
+//! A from-scratch leveled RNS-CKKS implementation (paper §II-A, \[15\],
+//! \[14\]) — the HE scheme substrate every CROSS evaluation runs on:
 //!
 //! * canonical-embedding encoder (special FFT over `C^{N/2}`),
 //! * RLWE key generation, encryption, decryption,
@@ -9,7 +9,7 @@
 //! * batched evaluation over [`BatchedCiphertext`] (batch-major packs
 //!   of same-level ciphertexts; every kernel amortizes across the
 //!   batch, bit-exact with the sequential loop),
-//! * hybrid key switching with digit decomposition (`dnum`, [37]),
+//! * hybrid key switching with digit decomposition (`dnum`, \[37\]),
 //! * fast basis conversion (BConv) raise/reduce,
 //! * a packed-bootstrapping cost estimator following the paper's own
 //!   kernel-invocation-count methodology (§V-A, Tab. IX).

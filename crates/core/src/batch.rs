@@ -173,6 +173,32 @@ impl RnsNttPlans {
             plan.charge_forward_batch(sim, batch);
         }
     }
+
+    /// Charges the same transform sharded *limb-parallel* across the
+    /// cores of a pod and returns the critical-path latency in seconds:
+    /// limbs are independent, so each core runs `⌈L/P⌉` fused batch
+    /// kernels and no data crosses the interconnect (the honest
+    /// multi-core NTT of the ROADMAP's sharding story — speedup is
+    /// bounded by the ceil split, not assumed linear).
+    pub fn charge_forward_batch_pod(&self, pod: &mut cross_tpu::PodSim, batch: usize) -> f64 {
+        let shard = crate::shard::ShardPlan::new(
+            crate::shard::ShardStrategy::LimbParallel,
+            pod.num_cores(),
+        );
+        let split = shard.split(self.plans.len());
+        let mut offset = 0usize;
+        let mut reports = Vec::with_capacity(split.len());
+        for (core_idx, &limbs) in split.iter().enumerate() {
+            let sim = pod.core_mut(core_idx);
+            sim.begin_kernel("ntt-batch-shard");
+            for plan in &self.plans[offset..offset + limbs] {
+                plan.charge_forward_batch(sim, batch);
+            }
+            reports.push(sim.end_kernel());
+            offset += limbs;
+        }
+        reports.iter().map(|r| r.latency_s).fold(0.0f64, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +245,23 @@ mod tests {
         let back = plans.inverse_batch_on_tpu(&mut sim, &fwd);
         assert_eq!(back.limbs(), pb.limbs());
         assert!(sim.compute_seconds() > 0.0);
+    }
+
+    #[test]
+    fn pod_sharded_charge_is_sublinear_but_faster() {
+        let (ctx, _pb) = setup(6, 8, 4);
+        let plans = RnsNttPlans::for_context(&ctx, 8, 8, ModRed::Montgomery, true);
+        let mut single = TpuSim::new(TpuGeneration::V6e);
+        single.begin_kernel("ntt");
+        plans.charge_forward_batch(&mut single, 4);
+        let one = single.end_kernel().latency_s;
+        let mut pod = cross_tpu::PodSim::new(TpuGeneration::V6e, 4);
+        let sharded = plans.charge_forward_batch_pod(&mut pod, 4);
+        assert!(sharded < one, "limb-parallel must help");
+        assert!(
+            sharded >= one / 4.0,
+            "speedup cannot exceed the core count: {one} vs {sharded}"
+        );
     }
 
     #[test]

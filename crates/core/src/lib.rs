@@ -16,10 +16,12 @@
 //!
 //! [`modred`] selects the modular-reduction strategy (Fig. 13 ablation),
 //! [`bconv`] lowers Basis Conversion through BAT, [`plan`] sweeps
-//! `(R, C)` factorization candidates the way §V-A describes, and
-//! [`batch`] drives whole batch-major [`cross_poly::PolyBatch`]es
-//! through per-limb compiled plans so the matmuls stream a `C·batch`
-//! dimension (Fig. 11b's unit of work).
+//! `(R, C)` factorization candidates the way §V-A describes, [`batch`]
+//! drives whole batch-major [`cross_poly::PolyBatch`]es through
+//! per-limb compiled plans so the matmuls stream a `C·batch` dimension
+//! (Fig. 11b's unit of work), and [`shard`] plans how that work splits
+//! across the cores of a [`cross_tpu::PodSim`] (limb-parallel for
+//! latency, batch-parallel for throughput).
 //!
 //! ## Example
 //!
@@ -47,8 +49,10 @@ pub mod bconv;
 pub mod mat;
 pub mod modred;
 pub mod plan;
+pub mod shard;
 
 pub use bat::matmul::BatMatMul;
 pub use batch::RnsNttPlans;
 pub use mat::ntt3::{Ntt3Config, Ntt3Plan};
 pub use modred::ModRed;
+pub use shard::{ShardPlan, ShardStrategy};

@@ -1,0 +1,116 @@
+//! Multi-core sharding planner: how HE work splits across the tensor
+//! cores of a [`cross_tpu::PodSim`].
+//!
+//! Two strategies cover the paper's workloads:
+//!
+//! * [`ShardStrategy::LimbParallel`] — *latency-optimal*. RNS limbs are
+//!   independent for NTT/INTT, element-wise modular ops and
+//!   automorphism permutations, so the limb loop splits across cores
+//!   with no intra-op communication; only the basis-conversion
+//!   all-gather, the switching-key scatter and the post-key-switch
+//!   all-reduce cross the interconnect. Per-op latency shrinks by
+//!   `⌈units/P⌉/units`, communication rides on the critical path.
+//! * [`ShardStrategy::BatchParallel`] — *throughput-optimal*. Each core
+//!   runs a whole independent operation (one ciphertext of a batch);
+//!   nothing is sharded, only shared parameters (switching keys) are
+//!   broadcast once. Latency per op is unchanged; amortized per-op time
+//!   approaches `single/P` minus the broadcast cost.
+//!
+//! The planner is deliberately deterministic arithmetic — ceil-balanced
+//! splits — so cost estimates are reproducible and the 1-core plan is
+//! exactly the unsharded work (`split(u) == [u]`), which is what lets
+//! `tests/pod_model.rs` pin the 1-core/zero-link pod to the single
+//! [`cross_tpu::TpuSim`] numbers bit for bit.
+
+/// How work units (limbs, or whole ops) map onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Split each operation's limb loop across cores (latency-optimal).
+    LimbParallel,
+    /// Run independent operations on each core (throughput-optimal).
+    BatchParallel,
+}
+
+/// A sharding plan over a fixed number of cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Strategy in force.
+    pub strategy: ShardStrategy,
+    /// Participating cores.
+    pub cores: usize,
+}
+
+impl ShardPlan {
+    /// Builds a plan.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn new(strategy: ShardStrategy, cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        Self { strategy, cores }
+    }
+
+    /// Balanced split of `units` work items: the first `units % cores`
+    /// cores take `⌈units/cores⌉`, the rest `⌊units/cores⌋`. Sums to
+    /// `units`; with one core, returns `[units]`.
+    pub fn split(&self, units: usize) -> Vec<usize> {
+        let base = units / self.cores;
+        let extra = units % self.cores;
+        (0..self.cores)
+            .map(|c| base + usize::from(c < extra))
+            .collect()
+    }
+
+    /// The critical core's share: `⌈units/cores⌉` — non-increasing in
+    /// the core count, which is what makes multi-core compute provably
+    /// monotone in `tests/pod_model.rs`.
+    pub fn critical_units(&self, units: usize) -> usize {
+        units.div_ceil(self.cores)
+    }
+
+    /// The per-core byte shard of an object of `total_bytes`
+    /// partitioned limb-major across the plan (critical core's share).
+    pub fn shard_bytes(&self, total_bytes: f64) -> f64 {
+        total_bytes / self.cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_balanced_and_conservative() {
+        let plan = ShardPlan::new(ShardStrategy::LimbParallel, 4);
+        assert_eq!(plan.split(10), vec![3, 3, 2, 2]);
+        assert_eq!(plan.split(10).iter().sum::<usize>(), 10);
+        assert_eq!(plan.split(3), vec![1, 1, 1, 0]);
+        assert_eq!(plan.critical_units(10), 3);
+    }
+
+    #[test]
+    fn one_core_plan_is_identity() {
+        let plan = ShardPlan::new(ShardStrategy::LimbParallel, 1);
+        assert_eq!(plan.split(51), vec![51]);
+        assert_eq!(plan.critical_units(51), 51);
+        assert_eq!(plan.shard_bytes(1024.0), 1024.0);
+    }
+
+    #[test]
+    fn critical_units_monotone_in_cores() {
+        for units in [1usize, 7, 51, 68, 128] {
+            let mut prev = usize::MAX;
+            for cores in [1usize, 2, 4, 8, 16, 32] {
+                let c = ShardPlan::new(ShardStrategy::LimbParallel, cores).critical_units(units);
+                assert!(c <= prev, "units {units} cores {cores}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = ShardPlan::new(ShardStrategy::BatchParallel, 0);
+    }
+}

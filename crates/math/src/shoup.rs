@@ -1,6 +1,6 @@
 //! Shoup modular multiplication with a precomputed operand.
 //!
-//! Shoup's trick (NTL [61]) multiplies a runtime value `a` by a *known*
+//! Shoup's trick (NTL \[61\]) multiplies a runtime value `a` by a *known*
 //! constant `w` (twiddle factor): with `w' = ⌊w·2^64 / q⌋` precomputed,
 //! `a·w mod q` needs one high product, one low product and a conditional
 //! subtraction. The paper's Fig. 13 ablation shows it losing to

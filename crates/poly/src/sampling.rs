@@ -3,7 +3,7 @@
 use cross_math::modops::from_signed;
 use rand::Rng;
 
-/// Standard deviation of the RLWE error distribution (HE standard [7]).
+/// Standard deviation of the RLWE error distribution (HE standard \[7\]).
 pub const ERROR_SIGMA: f64 = 3.2;
 
 /// Uniform coefficients in `[0, q)`.

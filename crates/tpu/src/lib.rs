@@ -12,7 +12,12 @@
 //! * **XLU** — the cross-lane unit for transpose/shuffle/reduce, whose
 //!   latency is *not* hidden and degrades with fine-grained access;
 //! * **memory** — VMEM with per-generation read/write bandwidth and HBM
-//!   for cold parameter loads, Tab. IV numbers throughout.
+//!   for cold parameter loads, Tab. IV numbers throughout;
+//! * **interconnect** — [`topology::Topology`] (per-generation ICI
+//!   ring/torus bandwidth + hop latency, DCN between hosts) and
+//!   [`pod::PodSim`], which owns N tensor cores and charges explicit
+//!   transfer/collective costs so multi-chip estimates are honest
+//!   (never `single-core / cores`).
 //!
 //! Every operation is computed for real (bit-exact integers) while its
 //! cost is charged to a [`trace::Trace`] with XProf-style categories, so
@@ -33,12 +38,16 @@
 //! assert!(report.latency_s > 0.0);
 //! ```
 
+pub mod pod;
 pub mod power;
 pub mod sim;
 pub mod spec;
+pub mod topology;
 pub mod trace;
 pub mod vreg;
 
+pub use pod::{PodKernelReport, PodSim};
 pub use sim::{KernelReport, TpuSim};
 pub use spec::{ChipSpec, TpuGeneration};
+pub use topology::{LinkSpec, Topology};
 pub use trace::{Category, Trace};

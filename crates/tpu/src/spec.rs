@@ -44,6 +44,12 @@ impl TpuGeneration {
                 onchip_bytes: 80 * MIB, // 16 MB VMEM + CMEM share (128 MB/2 TCs)
                 tc_watts: 85.0,
                 dispatch_s: 1.5e-6,
+                // 2400 Gbps/chip ICI (6 links x 400 Gbps, 3D torus),
+                // shared by the chip's 2 tensor cores.
+                ici_gbs: 150.0,
+                ici_hop_s: ICI_HOP_S,
+                dcn_gbs: DCN_HOST_GBS,
+                dcn_hop_s: DCN_HOP_S,
             },
             TpuGeneration::V5e => ChipSpec {
                 name: "TPUv5e",
@@ -59,6 +65,12 @@ impl TpuGeneration {
                 onchip_bytes: 48 * MIB,
                 tc_watts: 60.0,
                 dispatch_s: 1.0e-6,
+                // 1600 Gbps/chip ICI (4 links x 400 Gbps, 2D torus),
+                // one tensor core per chip.
+                ici_gbs: 200.0,
+                ici_hop_s: ICI_HOP_S,
+                dcn_gbs: DCN_HOST_GBS,
+                dcn_hop_s: DCN_HOP_S,
             },
             TpuGeneration::V5p => ChipSpec {
                 name: "TPUv5p",
@@ -74,6 +86,12 @@ impl TpuGeneration {
                 onchip_bytes: 112 * MIB,
                 tc_watts: 125.0,
                 dispatch_s: 1.0e-6,
+                // 4800 Gbps/chip ICI (6 links x 800 Gbps, 3D torus),
+                // shared by the chip's 2 tensor cores.
+                ici_gbs: 300.0,
+                ici_hop_s: ICI_HOP_S,
+                dcn_gbs: DCN_HOST_GBS,
+                dcn_hop_s: DCN_HOP_S,
             },
             TpuGeneration::V6e => ChipSpec {
                 name: "TPUv6e",
@@ -92,6 +110,12 @@ impl TpuGeneration {
                 onchip_bytes: 24 * MIB,
                 tc_watts: 75.0,
                 dispatch_s: 0.8e-6,
+                // 3584 Gbps/chip ICI (4 links x 896 Gbps, 2D torus),
+                // one tensor core per chip.
+                ici_gbs: 448.0,
+                ici_hop_s: ICI_HOP_S,
+                dcn_gbs: DCN_HOST_GBS,
+                dcn_hop_s: DCN_HOP_S,
             },
         }
     }
@@ -104,6 +128,15 @@ impl std::fmt::Display for TpuGeneration {
 }
 
 const MIB: u64 = 1024 * 1024;
+
+/// Per-hop ICI latency: one serialization/deserialization through a
+/// torus neighbor link (sub-microsecond on real hardware; 1 µs is the
+/// conservative figure used for honest multi-chip estimates).
+const ICI_HOP_S: f64 = 1.0e-6;
+/// Per-host DCN bandwidth: ~200 Gbps of NIC bandwidth per TPU host.
+const DCN_HOST_GBS: f64 = 25.0;
+/// One-way DCN latency between hosts in the same cluster.
+const DCN_HOP_S: f64 = 10.0e-6;
 
 /// Architectural parameters of one tensor core.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +167,17 @@ pub struct ChipSpec {
     pub tc_watts: f64,
     /// Fixed kernel dispatch overhead (XLA launch) in seconds.
     pub dispatch_s: f64,
+    /// Inter-chip interconnect bandwidth available to one tensor core
+    /// (decimal GB/s = 1e9 B/s, one direction): the chip's published
+    /// aggregate ICI bandwidth divided by its tensor-core count.
+    pub ici_gbs: f64,
+    /// Per-hop ICI latency (neighbor link on the ring/torus), seconds.
+    pub ici_hop_s: f64,
+    /// Data-center-network bandwidth per host (decimal GB/s) — the
+    /// cross-host path once a topology outgrows one host's ICI domain.
+    pub dcn_gbs: f64,
+    /// One-way DCN latency between hosts, seconds.
+    pub dcn_hop_s: f64,
 }
 
 impl ChipSpec {

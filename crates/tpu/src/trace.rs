@@ -24,6 +24,10 @@ pub enum Category {
     CopyReshape,
     /// HBM DMA for cold parameters / spills.
     DmaHbm,
+    /// Inter-chip interconnect transfers (intra-host ICI ring/mesh).
+    IciTransfer,
+    /// Data-center network transfers (between hosts).
+    DcnTransfer,
     /// Everything else (dispatch, scalar fix-ups).
     Other,
 }
@@ -40,8 +44,15 @@ impl Category {
             Category::TypeConversion => "Type Conversion",
             Category::CopyReshape => "Copy+Reshape",
             Category::DmaHbm => "DMA(HBM)",
+            Category::IciTransfer => "ICI",
+            Category::DcnTransfer => "DCN",
             Category::Other => "Other",
         }
+    }
+
+    /// True for inter-chip / inter-host communication categories.
+    pub fn is_interconnect(self) -> bool {
+        matches!(self, Category::IciTransfer | Category::DcnTransfer)
     }
 
     /// True for categories that execute on the MXU.

@@ -50,6 +50,28 @@
 //!     assert!((out[0] - want).abs() < 1e-2);
 //! }
 //! ```
+//!
+//! ## Multi-chip sharding
+//!
+//! Multi-core latency estimates run on a [`tpu::PodSim`] — N tensor
+//! cores joined by the generation's ICI/DCN topology — via the
+//! `*_pod` entry points of [`ckks::costs`] (this is the README's
+//! sharding doctest):
+//!
+//! ```
+//! use cross::ckks::costs::{self, ExecMode};
+//! use cross::ckks::params::ParamSet;
+//! use cross::tpu::{PodSim, TpuGeneration};
+//!
+//! let params = ParamSet::D.params();
+//! let counts = costs::he_mult_counts(&params, params.limbs);
+//! let key = costs::switching_key_bytes(&params, params.limbs);
+//! let mut pod = PodSim::new(TpuGeneration::V6e, 8); // v6e-8, real ICI
+//! let rep = costs::charge_op_pod(&mut pod, &params, &counts, key, "HE-Mult", ExecMode::Unfused);
+//! assert!(rep.comm_s > 0.0);                        // sharding is not free
+//! assert_eq!(rep.per_core_latency_s.len(), 8);      // load-balance picture
+//! println!("{:.0} us, {:.0}% comm", rep.latency_us(), rep.comm_fraction() * 100.0);
+//! ```
 
 pub use cross_baselines as baselines;
 pub use cross_ckks as ckks;

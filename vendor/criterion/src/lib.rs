@@ -195,7 +195,7 @@ pub mod results {
         }
     }
 
-    /// Parses the flat `{"label": ns, …}` map produced by [`write`].
+    /// Parses the flat `{"label": ns, …}` map produced by [`write()`].
     /// Unparseable lines are skipped (warn-only tooling downstream).
     pub fn parse(text: &str) -> BTreeMap<String, f64> {
         let mut map = BTreeMap::new();
