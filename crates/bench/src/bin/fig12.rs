@@ -1,60 +1,55 @@
 //! Fig. 12: latency breakdown of HE-Mult and Rotate (v6e, Set D).
 //!
-//! Two views per operator: the paper's single-tensor-core profile
-//! (comparable to the published Fig. 12 percentages) and the sharded
-//! v6e-8 [`cross_tpu::PodSim`] profile, whose extra ICI slice is the
-//! communication the limb-parallel sharding pays.
+//! Both operators are expressed as one-node [`cross_sched::OpGraph`]s
+//! and interpreted by [`cross_sched::cost_graph`] — the same compiler
+//! path the workload bins use — rather than a hand-written charge
+//! call. Two views per operator: the paper's single-tensor-core
+//! profile (comparable to the published Fig. 12 percentages) and the
+//! sharded v6e-8 profile, whose extra ICI slice is the communication
+//! the limb-parallel sharding pays.
 
-use cross_bench::{banner, pod_for};
-use cross_ckks::costs::{self, ExecMode};
+use cross_bench::{banner, pod_for, print_breakdown};
+use cross_ckks::costs::ExecMode;
 use cross_ckks::params::ParamSet;
-use cross_tpu::{TpuGeneration, TpuSim};
+use cross_sched::{cost_graph, HeOpKind, OpGraph};
+use cross_tpu::TpuGeneration;
 
 fn main() {
     banner("Fig. 12: HE-Mult / Rotate latency breakdown (v6e, Set D)");
     let params = ParamSet::D.params();
     let l = params.limbs;
 
-    for (name, counts, keyed, paper) in [
+    for (name, kind, paper) in [
         (
             "HE-Mult",
-            costs::he_mult_counts(&params, l),
-            true,
+            HeOpKind::Mult,
             "paper: VecModOps 51% | INTT-MatMul 17% | Copy+Reshape 13% | BConv-MatMul 7% | NTT-MatMul 5% | TypeConv 4% | Other 3%",
         ),
         (
             "Rotate",
-            costs::he_rotate_counts(&params, l),
-            true,
+            HeOpKind::Rotate { steps: 1 },
             "paper: VecModOps 38% | Permutation 21% | INTT 14% | BConv 13% | Copy+Reshape 6% | NTT 5% | TypeConv 5% | Other 4%",
         ),
     ] {
-        let key = if keyed {
-            costs::switching_key_bytes(&params, l)
-        } else {
-            0.0
-        };
+        let graph = OpGraph::single_op(kind, l);
 
-        let mut sim = TpuSim::new(TpuGeneration::V6e);
-        let rep = costs::charge_op(&mut sim, &params, &counts, key, name);
-        println!("\n{name}, one tensor core (latency {:.0} us):", rep.latency_us());
-        let total: f64 = rep.breakdown.iter().map(|(_, s)| s).sum();
-        for (cat, s) in &rep.breakdown {
-            println!("  {:>16}: {:>5.1}%", cat.label(), s / total * 100.0);
-        }
+        let mut single = pod_for(TpuGeneration::V6e, 1);
+        let rep = cost_graph(&mut single, &params, &graph, ExecMode::Unfused);
+        println!(
+            "\n{name}, one tensor core (latency {:.0} us):",
+            rep.critical_s * 1e6
+        );
+        print_breakdown(&rep.breakdown);
         println!("  {paper}");
 
         let mut pod = pod_for(TpuGeneration::V6e, 8);
-        let prep = costs::charge_op_pod(&mut pod, &params, &counts, key, name, ExecMode::Unfused);
+        let prep = cost_graph(&mut pod, &params, &graph, ExecMode::Unfused);
         println!(
             "{name}, v6e-8 sharded (critical path {:.0} us, comm {:.1}%):",
-            prep.latency_us(),
-            prep.comm_fraction() * 100.0
+            prep.critical_s * 1e6,
+            prep.comm_s / prep.critical_s * 100.0
         );
-        let ptotal: f64 = prep.breakdown.iter().map(|(_, s)| s).sum();
-        for (cat, s) in &prep.breakdown {
-            println!("  {:>16}: {:>5.1}%", cat.label(), s / ptotal * 100.0);
-        }
+        print_breakdown(&prep.breakdown);
     }
     println!("\nTakeaway: both operators are VPU-bound (VecModOps largest share);");
     println!("Rotate adds the worst-case automorphism Permutation cost, and the");

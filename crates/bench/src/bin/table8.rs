@@ -8,7 +8,7 @@
 //! instead of the old single-core-latency-divided-by-cores shortcut.
 
 use cross_baselines::devices::{HE_OP_BASELINES, PAPER_EFFICIENCY_RATIOS};
-use cross_bench::{banner, pod_for, ratio, us, vm_setups};
+use cross_bench::{banner, pod_for, ratio, us, vm_setups, PodTable};
 use cross_ckks::costs::{self, ExecMode};
 use cross_ckks::params::CkksParams;
 use cross_tpu::TpuGeneration;
@@ -34,41 +34,20 @@ fn main() {
     // and one amortized row per setup (see README "Reading the bench
     // output").
     println!("CROSS default (Set D: N=2^16, L=51, dnum=3), XLA-unfused lowering:");
-    println!(
-        "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9} | {:>8}",
-        "setup", "column", "HE-Add", "HE-Mult", "Rescale", "Rotate", "comm%"
-    );
+    let table = PodTable::us_cols(&["HE-Add", "HE-Mult", "Rescale", "Rotate"]);
+    table.header("setup", "column");
     for (gen, cores, label) in vm_setups() {
         let l = backbone_pod_us(gen, cores, &default_params, ExecMode::Unfused);
-        println!(
-            "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9} | {:>7.1}%",
+        table.row(
             label,
             "critical",
-            us(l[0].0),
-            us(l[1].0),
-            us(l[2].0),
-            us(l[3].0),
-            l[1].1 * 100.0
+            &[l[0].0, l[1].0, l[2].0, l[3].0],
+            Some(l[1].1),
         );
-        println!(
-            "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9} |",
-            "",
-            "amortized",
-            us(l[0].2),
-            us(l[1].2),
-            us(l[2].2),
-            us(l[3].2),
-        );
+        table.row("", "amortized", &[l[0].2, l[1].2, l[2].2, l[3].2], None);
     }
-    println!(
-        "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9} |   (paper v6e-8, amortized)",
-        "paper",
-        "",
-        us(3.5),
-        us(509.0),
-        us(77.0),
-        us(414.0)
-    );
+    table.row("paper", "amortized", &[3.5, 509.0, 77.0, 414.0], None);
+    println!("(paper row: published v6e-8 amortized figures)");
 
     // The fused batch-major lowering (ROADMAP "batched HE-op cost
     // model"): same ops, step-3 tile padding amortized, VMEM-resident
@@ -76,20 +55,10 @@ fn main() {
     println!("\nFused batch-major lowering (v6e-8):");
     let unf = backbone_pod_us(TpuGeneration::V6e, 8, &default_params, ExecMode::Unfused);
     let fus = backbone_pod_us(TpuGeneration::V6e, 8, &default_params, ExecMode::FusedBatch);
-    println!(
-        "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9}",
-        "v6e-8", "column", "HE-Add", "HE-Mult", "Rescale", "Rotate"
-    );
+    let fused_table = PodTable::us_cols(&["HE-Add", "HE-Mult", "Rescale", "Rotate"]).without_comm();
+    fused_table.header("v6e-8", "column");
     for (name, row) in [("unfused", &unf), ("fused", &fus)] {
-        println!(
-            "{:>8} {:>10} | {:>8} {:>9} {:>9} {:>9}",
-            "",
-            name,
-            us(row[0].0),
-            us(row[1].0),
-            us(row[2].0),
-            us(row[3].0),
-        );
+        fused_table.row("", name, &[row[0].0, row[1].0, row[2].0, row[3].0], None);
     }
     println!(
         "fused/unfused HE-Mult: {} (batch-major execution costed end to end)",

@@ -1,34 +1,44 @@
 //! Table IX: packed bootstrapping latency and v6e-8 breakdown.
 //!
-//! Every row is a [`cross_tpu::PodSim`] estimate
-//! ([`cross_ckks::bootstrap::estimate_pod`]): the limb-parallel
-//! critical path and the batch-parallel amortized figure both charge
-//! explicit ICI/DCN communication — the old "single-core latency
-//! divided by core count" shortcut is gone.
+//! Bootstrapping is a single `Bootstrap` node in the
+//! [`cross_sched::OpGraph`] IR, expanded by
+//! [`cross_sched::cost_graph`] into the Tab. IX kernel bundles
+//! ([`cross_ckks::bootstrap::op_bundles`]) and charged on a
+//! [`cross_tpu::PodSim`] — bit-identical to
+//! [`cross_ckks::bootstrap::estimate_pod`] (pinned by
+//! `tests/sched_model.rs`). Every row charges explicit ICI/DCN
+//! communication; the old "single-core latency divided by core count"
+//! shortcut is gone.
 
 use cross_baselines::devices::{BOOTSTRAP_BASELINES, PAPER_BOOTSTRAP_BREAKDOWN};
-use cross_bench::{banner, pod_for, ratio, vm_setups};
-use cross_ckks::bootstrap;
+use cross_bench::{banner, pod_for, print_breakdown, ratio, vm_setups, PodTable};
+use cross_ckks::costs::ExecMode;
 use cross_ckks::params::ParamSet;
+use cross_sched::{cost_graph, HeOpKind, OpGraph};
 
 fn main() {
     banner("Table IX: packed bootstrapping (Set D), latency in ms");
     let params = ParamSet::D.params();
-    println!("{:>22} | {:>10} {:>10}", "system", "critical", "amortized");
+    let graph = OpGraph::single_op(HeOpKind::Bootstrap, params.limbs);
+    let table = PodTable::ms_cols(&["critical", "amortized"]).label_width(22);
+    table.header("system", "");
     for (name, ms) in BOOTSTRAP_BASELINES {
-        println!("{name:>22} | {:>10} {ms:>10.1}   (published)", "");
+        table.row(name, "published", &[f64::NAN, ms], None);
     }
     let mut v6e8 = 0.0;
+    let mut v6e8_breakdown = Vec::new();
     for (gen, cores, label) in vm_setups() {
         let mut pod = pod_for(gen, cores);
-        let est = bootstrap::estimate_pod(&mut pod, &params);
+        let est = cost_graph(&mut pod, &params, &graph, ExecMode::Unfused);
         if label == "v6e-8" {
             v6e8 = est.amortized_ms();
+            v6e8_breakdown = est.breakdown.clone();
         }
-        println!(
-            "{label:>22} | {:>10.1} {:>10.1}   (simulated, sharded)",
-            est.critical.latency_ms(),
-            est.amortized_ms()
+        table.row(
+            label,
+            "simulated",
+            &[est.critical_ms(), est.amortized_ms()],
+            Some(est.comm_s / est.critical_s),
         );
     }
     let cheddar = BOOTSTRAP_BASELINES[1].1;
@@ -41,23 +51,18 @@ fn main() {
 
     banner("v6e bootstrapping breakdown (paper Tab. IX row)");
     // One tensor core: the apples-to-apples comparison with the
-    // paper's published percentages.
-    let mut sim = cross_tpu::TpuSim::new(cross_tpu::TpuGeneration::V6e);
-    let single = bootstrap::estimate(&mut sim, &params);
+    // paper's published percentages (the 1-core pod interpretation is
+    // bit-identical to the single-TpuSim estimator).
+    let mut single = pod_for(cross_tpu::TpuGeneration::V6e, 1);
+    let est = cost_graph(&mut single, &params, &graph, ExecMode::Unfused);
     println!("one tensor core:");
-    for (cat, f) in &single.breakdown {
-        println!("{:>16}: {:>5.1}%", cat.label(), f * 100.0);
-    }
+    print_breakdown(&est.breakdown);
     println!("paper:");
     for (name, f) in PAPER_BOOTSTRAP_BREAKDOWN {
         println!("{:>16}: {:>5.1}%", name, f * 100.0);
     }
     // The sharded profile adds the interconnect slice.
-    let mut pod = pod_for(cross_tpu::TpuGeneration::V6e, 8);
-    let sharded = bootstrap::estimate_pod(&mut pod, &params);
-    let ici: f64 = sharded
-        .critical
-        .breakdown
+    let ici: f64 = v6e8_breakdown
         .iter()
         .filter(|(c, _)| c.is_interconnect())
         .map(|(_, f)| *f)

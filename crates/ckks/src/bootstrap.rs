@@ -8,7 +8,7 @@
 //! EvalMod → SlotToCoeff with BSGS rotations and a Chebyshev-style sine
 //! approximation), multiplied by the simulator's per-kernel latencies.
 
-use crate::costs::{self, ExecMode, OpCounts};
+use crate::costs::{self, ExecMode, OpBundle};
 use crate::params::CkksParams;
 use cross_tpu::{Category, PodSim, TpuSim};
 
@@ -76,61 +76,49 @@ impl BootstrapEstimate {
 /// The per-op kernel bundles one packed bootstrapping charges, at the
 /// average working level `l = max(L/2, 2)` (bootstrapping consumes
 /// levels as it runs; the paper's per-kernel latencies are likewise
-/// mid-pipeline profiles): `(name, counts, key bytes, invocations)`.
+/// mid-pipeline profiles).
 ///
-/// Both [`estimate`] and [`estimate_pod`] iterate this one list, so
-/// their charge sequences cannot diverge — which is what the
-/// 1-core/zero-link bit-identity contract of `tests/pod_model.rs`
-/// relies on.
-fn op_bundles(
-    params: &CkksParams,
-    counts: &BootstrapCounts,
-) -> Vec<(&'static str, OpCounts, f64, usize)> {
+/// [`estimate`], [`estimate_pod`] and the `cross_sched` op-graph
+/// interpreter's `Bootstrap` node all iterate this one list, so their
+/// charge sequences cannot diverge — which is what the
+/// 1-core/zero-link bit-identity contract of `tests/pod_model.rs` and
+/// the `cost_graph`-exactness contract of `tests/sched_model.rs` rely
+/// on.
+pub fn op_bundles(params: &CkksParams, counts: &BootstrapCounts) -> Vec<OpBundle> {
     let l = (params.limbs / 2).max(2);
     let key_bytes = costs::switching_key_bytes(params, l);
-    // Plain multiplies: 2 VecModMul per limb (rescales counted apart).
-    let pmult = OpCounts {
-        vec_mod_mul: 2 * l,
-        ..OpCounts::default()
-    };
     vec![
-        (
-            "bootstrap-rotate",
-            costs::he_rotate_counts(params, l),
+        OpBundle {
+            name: "bootstrap-rotate",
+            counts: costs::he_rotate_counts(params, l),
             key_bytes,
-            counts.rotations,
-        ),
-        (
-            "bootstrap-mult",
-            costs::he_mult_counts(params, l),
+            times: counts.rotations,
+        },
+        OpBundle {
+            name: "bootstrap-mult",
+            counts: costs::he_mult_counts(params, l),
             key_bytes,
-            counts.ct_mults,
-        ),
-        ("bootstrap-pmult", pmult, 0.0, counts.plain_mults),
-        (
-            "bootstrap-add",
-            costs::he_add_counts(params, l),
-            0.0,
-            counts.additions,
-        ),
-        (
-            "bootstrap-rescale",
-            costs::he_rescale_counts(params, l),
-            0.0,
-            counts.rescales,
-        ),
+            times: counts.ct_mults,
+        },
+        OpBundle {
+            name: "bootstrap-pmult",
+            counts: costs::he_plain_mult_counts(params, l),
+            key_bytes: 0.0,
+            times: counts.plain_mults,
+        },
+        OpBundle {
+            name: "bootstrap-add",
+            counts: costs::he_add_counts(params, l),
+            key_bytes: 0.0,
+            times: counts.additions,
+        },
+        OpBundle {
+            name: "bootstrap-rescale",
+            counts: costs::he_rescale_counts(params, l),
+            key_bytes: 0.0,
+            times: counts.rescales,
+        },
     ]
-}
-
-/// Normalizes an accumulated category map into sorted fractions.
-fn normalize_breakdown(acc: std::collections::BTreeMap<Category, f64>) -> Vec<(Category, f64)> {
-    let sum: f64 = acc.values().sum();
-    let mut breakdown: Vec<(Category, f64)> = acc
-        .into_iter()
-        .map(|(c, s)| (c, if sum > 0.0 { s / sum } else { 0.0 }))
-        .collect();
-    breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    breakdown
 }
 
 /// Estimates packed bootstrapping on one tensor core of `sim`'s
@@ -141,20 +129,20 @@ pub fn estimate(sim: &mut TpuSim, params: &CkksParams) -> BootstrapEstimate {
 
     let mut total = 0.0;
     let mut acc: std::collections::BTreeMap<Category, f64> = Default::default();
-    for (name, c, key, times) in op_bundles(params, &counts) {
-        if times == 0 {
+    for b in op_bundles(params, &counts) {
+        if b.times == 0 {
             continue;
         }
-        let rep = costs::charge_op(sim, params, &c, key, name);
+        let rep = costs::charge_op(sim, params, &b.counts, b.key_bytes, b.name);
         for (cat, s) in &rep.breakdown {
-            *acc.entry(*cat).or_insert(0.0) += s * times as f64;
+            *acc.entry(*cat).or_insert(0.0) += s * b.times as f64;
         }
-        total += rep.latency_s * times as f64;
+        total += rep.latency_s * b.times as f64;
     }
 
     BootstrapEstimate {
         latency_s: total,
-        breakdown: normalize_breakdown(acc),
+        breakdown: costs::normalize_breakdown(acc),
         counts,
     }
 }
@@ -189,36 +177,21 @@ pub fn estimate_pod(pod: &mut PodSim, params: &CkksParams) -> PodBootstrapEstima
     let counts = BootstrapCounts::packed(params);
     pod.reset();
 
-    // The amortized estimate charges full (unsharded) ops, which must
-    // not perturb the critical-path cores' charge sequence — kernel
-    // deltas are floating-point sums over the accumulated trace, and
-    // the 1-core/zero-link bit-identity contract (tests/pod_model.rs)
-    // requires the critical sequence to match `estimate` exactly.
+    // The amortized estimates charge onto a cloned pod; see
+    // `costs::charge_bundles_pod` for why the critical-path pod must
+    // stay undisturbed (bit-identity with `estimate`).
     let mut amortized_pod = pod.clone();
-    let mut total = 0.0;
-    let mut amortized = 0.0;
-    let mut acc: std::collections::BTreeMap<Category, f64> = Default::default();
-    for (name, c, key, times) in op_bundles(params, &counts) {
-        if times == 0 {
-            continue;
-        }
-        let rep = costs::charge_op_pod(pod, params, &c, key, name, ExecMode::Unfused);
-        for (cat, s) in &rep.breakdown {
-            *acc.entry(*cat).or_insert(0.0) += s * times as f64;
-        }
-        total += rep.latency_s * times as f64;
-        amortized +=
-            costs::amortized_op_pod(&mut amortized_pod, params, &c, key, name, ExecMode::Unfused)
-                * times as f64;
-    }
+    let bundles = op_bundles(params, &counts);
+    let br =
+        costs::charge_bundles_pod(pod, &mut amortized_pod, params, &bundles, ExecMode::Unfused);
 
     PodBootstrapEstimate {
         critical: BootstrapEstimate {
-            latency_s: total,
-            breakdown: normalize_breakdown(acc),
+            latency_s: br.critical_s,
+            breakdown: costs::normalize_breakdown(br.acc),
             counts,
         },
-        amortized_s: amortized,
+        amortized_s: br.amortized_s,
     }
 }
 

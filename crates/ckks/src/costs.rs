@@ -225,6 +225,23 @@ pub struct OpCounts {
     pub automorphism: usize,
 }
 
+impl OpCounts {
+    /// The counts of `batch` fused invocations of this operator: every
+    /// kernel dimension scales linearly (the NTT transform count *is*
+    /// the `batch` argument of [`charge_ntt_batch_fused`], so a scaled
+    /// bundle charged in one kernel models the batch-major fusion).
+    pub fn scaled(&self, batch: usize) -> OpCounts {
+        OpCounts {
+            ntt: self.ntt * batch,
+            intt: self.intt * batch,
+            bconv: self.bconv * batch,
+            vec_mod_mul: self.vec_mod_mul * batch,
+            vec_mod_add: self.vec_mod_add * batch,
+            automorphism: self.automorphism * batch,
+        }
+    }
+}
+
 /// HE-Mult kernel counts at level `l` (tensor, hybrid KS, rescale).
 pub fn he_mult_counts(params: &CkksParams, l: usize) -> OpCounts {
     let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
@@ -244,8 +261,10 @@ pub fn he_mult_counts(params: &CkksParams, l: usize) -> OpCounts {
     }
 }
 
-/// HE-Rotate kernel counts at level `l`.
-pub fn he_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
+/// Hybrid key-switch kernel counts at level `l` — the shared core of
+/// [`he_rotate_counts`] (which adds the automorphism permutations) and
+/// the standalone `KeySwitch` IR node of `cross_sched`.
+pub fn he_key_switch_counts(params: &CkksParams, l: usize) -> OpCounts {
     let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
     let alpha = params.digit_limbs();
     let k = params.special_limbs();
@@ -256,7 +275,26 @@ pub fn he_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
         bconv: dnum * alpha.min(l) + k,
         vec_mod_mul: 2 * dnum * ext + 2 * l,
         vec_mod_add: 2 * dnum * ext + l,
+        automorphism: 0,
+    }
+}
+
+/// HE-Rotate kernel counts at level `l`: one key switch plus the
+/// worst-case slot permutation on both output polynomials.
+pub fn he_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
+    OpCounts {
         automorphism: 2 * l,
+        ..he_key_switch_counts(params, l)
+    }
+}
+
+/// Plaintext-multiply kernel counts at level `l` (2 polys × `l` limb
+/// VecModMuls; rescaling is counted separately). Shared by the
+/// bootstrapping estimator and the HELR/MNIST workload bins.
+pub fn he_plain_mult_counts(_params: &CkksParams, l: usize) -> OpCounts {
+    OpCounts {
+        vec_mod_mul: 2 * l,
+        ..OpCounts::default()
     }
 }
 
@@ -459,6 +497,87 @@ pub fn amortized_op_pod(
     }
     let comm = pod.comm_seconds() - comm_before;
     (max_latency + comm) / cores as f64
+}
+
+/// One HE-operator invocation bundle: the kernel counts, its key
+/// traffic, and how many times the workload invokes it. This is the
+/// unit both the bootstrapping estimator
+/// ([`crate::bootstrap::op_bundles`]) and the `cross_sched` op-graph
+/// interpreter charge, so their sequences cannot diverge.
+#[derive(Debug, Clone, Copy)]
+pub struct OpBundle {
+    /// Kernel label (reporting only; never affects the estimate).
+    pub name: &'static str,
+    /// Kernel counts of one invocation.
+    pub counts: OpCounts,
+    /// Switching-key HBM bytes per invocation (0 for un-keyed ops).
+    pub key_bytes: f64,
+    /// Invocation count.
+    pub times: usize,
+}
+
+/// Totals of charging a bundle list onto a pod — the shared engine
+/// behind [`crate::bootstrap::estimate_pod`] and
+/// `cross_sched::cost_graph`.
+#[derive(Debug, Clone, Default)]
+pub struct BundlesReport {
+    /// Limb-parallel critical-path seconds (Σ latency × times).
+    pub critical_s: f64,
+    /// Batch-parallel amortized seconds (Σ amortized × times).
+    pub amortized_s: f64,
+    /// Critical-path communication seconds (Σ comm × times).
+    pub comm_s: f64,
+    /// Times-weighted busy seconds per category (unnormalized).
+    pub acc: std::collections::BTreeMap<Category, f64>,
+    /// One pod report per charged bundle, in order.
+    pub reports: Vec<PodKernelReport>,
+}
+
+/// Charges every bundle limb-parallel onto `pod` (critical path) and
+/// batch-parallel onto `amortized_pod`, interleaved per bundle.
+///
+/// The two pods must be distinct: the amortized estimates charge full
+/// (unsharded) ops, which would otherwise perturb the critical-path
+/// cores' charge sequence — kernel deltas are floating-point sums over
+/// the accumulated trace, and the 1-core/zero-link bit-identity
+/// contract (`tests/pod_model.rs`) requires the critical sequence to
+/// stay exact.
+pub fn charge_bundles_pod(
+    pod: &mut PodSim,
+    amortized_pod: &mut PodSim,
+    params: &CkksParams,
+    bundles: &[OpBundle],
+    mode: ExecMode,
+) -> BundlesReport {
+    let mut out = BundlesReport::default();
+    for b in bundles {
+        if b.times == 0 {
+            continue;
+        }
+        let rep = charge_op_pod(pod, params, &b.counts, b.key_bytes, b.name, mode);
+        for (cat, s) in &rep.breakdown {
+            *out.acc.entry(*cat).or_insert(0.0) += s * b.times as f64;
+        }
+        out.critical_s += rep.latency_s * b.times as f64;
+        out.comm_s += rep.comm_s * b.times as f64;
+        out.amortized_s +=
+            amortized_op_pod(amortized_pod, params, &b.counts, b.key_bytes, b.name, mode)
+                * b.times as f64;
+        out.reports.push(rep);
+    }
+    out
+}
+
+/// Normalizes an accumulated category map into fractions sorted by
+/// descending share (the Tab. IX row shape).
+pub fn normalize_breakdown(acc: std::collections::BTreeMap<Category, f64>) -> Vec<(Category, f64)> {
+    let sum: f64 = acc.values().sum();
+    let mut breakdown: Vec<(Category, f64)> = acc
+        .into_iter()
+        .map(|(c, s)| (c, if sum > 0.0 { s / sum } else { 0.0 }))
+        .collect();
+    breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    breakdown
 }
 
 /// Switching-key bytes at level `l` (dnum digits × 2 polys × (l+k) limbs).

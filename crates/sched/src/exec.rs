@@ -1,0 +1,257 @@
+//! Functional execution of op graphs: replay a recorded graph through
+//! the eager [`Evaluator`], or execute a [`Schedule`] through the
+//! batched evaluator so fused groups actually run as
+//! [`BatchedCiphertext`] kernels.
+//!
+//! Both paths are **bit-exact** with calling the evaluator eagerly:
+//! replay dispatches the identical single-ciphertext methods, and
+//! schedule execution leans on the batched operators' own bit-exactness
+//! contract (`tests/batched_equivalence.rs`). `tests/sched_model.rs`
+//! pins both.
+
+use crate::ir::{HeOpKind, NodeId, OpGraph};
+use crate::sched::Schedule;
+use cross_ckks::{BatchedCiphertext, Ciphertext, Evaluator, SwitchingKey};
+use std::collections::BTreeMap;
+
+/// The switching keys replay needs: the relinearization key for `Mult`
+/// and one rotation key per distinct step.
+#[derive(Default)]
+pub struct ReplayKeys<'a> {
+    relin: Option<&'a SwitchingKey>,
+    rotation: BTreeMap<usize, &'a SwitchingKey>,
+}
+
+impl<'a> ReplayKeys<'a> {
+    /// No keys (enough for Add/Rescale/ModDrop graphs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the relinearization key.
+    pub fn with_relin(mut self, key: &'a SwitchingKey) -> Self {
+        self.relin = Some(key);
+        self
+    }
+
+    /// Adds the rotation key for `steps`.
+    pub fn with_rotation(mut self, steps: usize, key: &'a SwitchingKey) -> Self {
+        self.rotation.insert(steps, key);
+        self
+    }
+
+    fn relin(&self) -> &'a SwitchingKey {
+        self.relin.expect("Mult in graph but no relin key provided")
+    }
+
+    fn rotation(&self, steps: usize) -> &'a SwitchingKey {
+        self.rotation
+            .get(&steps)
+            .unwrap_or_else(|| panic!("no rotation key for steps {steps}"))
+    }
+}
+
+/// Executes `ops` same-kind, same-level operations: the eager
+/// single-ciphertext method when there is one, the batched operator
+/// when the group is larger. Operands are mod-dropped to `level`
+/// first — exactly the alignment the eager evaluator performs
+/// internally, so both paths stay bit-exact.
+fn exec_group(
+    ev: &Evaluator,
+    keys: &ReplayKeys,
+    kind: HeOpKind,
+    level: usize,
+    lhs: Vec<Ciphertext>,
+    rhs: Vec<Ciphertext>,
+) -> Vec<Ciphertext> {
+    assert!(
+        kind.replayable() && kind != HeOpKind::Input,
+        "{} is cost-only and cannot be executed",
+        kind.label()
+    );
+    if lhs.len() == 1 {
+        // Same alignment as the batched path below (a no-op for
+        // recorder-built graphs, whose node level is already the
+        // operands' aligned level), so group size never changes what
+        // is computed — including the panic on a node declared above
+        // its operands' level.
+        let a = ev.mod_drop(&lhs[0], level);
+        return vec![match kind {
+            HeOpKind::Add => ev.add(&a, &ev.mod_drop(&rhs[0], level)),
+            HeOpKind::Mult => ev.mult(&a, &ev.mod_drop(&rhs[0], level), keys.relin()),
+            HeOpKind::Rotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
+            HeOpKind::Rescale => ev.rescale(&a),
+            HeOpKind::ModDrop { to_level } => ev.mod_drop(&a, to_level),
+            _ => unreachable!(),
+        }];
+    }
+    let align = |cts: Vec<Ciphertext>| -> Vec<Ciphertext> {
+        cts.iter().map(|c| ev.mod_drop(c, level)).collect()
+    };
+    let a = BatchedCiphertext::from_ciphertexts(&align(lhs));
+    let out = match kind {
+        HeOpKind::Add => ev.add_batch(&a, &BatchedCiphertext::from_ciphertexts(&align(rhs))),
+        HeOpKind::Mult => ev.mult_batch(
+            &a,
+            &BatchedCiphertext::from_ciphertexts(&align(rhs)),
+            keys.relin(),
+        ),
+        HeOpKind::Rotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
+        HeOpKind::Rescale => ev.rescale_batch(&a),
+        HeOpKind::ModDrop { to_level } => ev.mod_drop_batch(&a, to_level),
+        _ => unreachable!(),
+    };
+    out.to_ciphertexts()
+}
+
+fn operand(results: &[Option<Ciphertext>], id: NodeId) -> Ciphertext {
+    results[id]
+        .clone()
+        .unwrap_or_else(|| panic!("node {id} produced no value (cost-only producer?)"))
+}
+
+/// Replays a recorded graph op by op through the eager evaluator.
+/// Returns one slot per node (`None` for cost-only kinds). Input nodes
+/// consume `inputs` in construction order.
+///
+/// # Panics
+/// Panics if `inputs` does not match the graph's input-node count, on
+/// pre-fused (`batch > 1`) nodes — those are cost-model artifacts
+/// with no per-op operand wiring, executable by neither this path nor
+/// [`execute_schedule`] (which fuses batch-1 nodes itself) — or when
+/// a replayable op consumes a cost-only node's value.
+pub fn replay(
+    graph: &OpGraph,
+    ev: &Evaluator,
+    keys: &ReplayKeys,
+    inputs: &[Ciphertext],
+) -> Vec<Option<Ciphertext>> {
+    let mut results: Vec<Option<Ciphertext>> = vec![None; graph.len()];
+    let mut next_input = 0usize;
+    for node in graph.nodes() {
+        if node.kind == HeOpKind::Input {
+            assert!(next_input < inputs.len(), "not enough input ciphertexts");
+            results[node.id] = Some(inputs[next_input].clone());
+            next_input += 1;
+            continue;
+        }
+        assert_eq!(node.batch, 1, "pre-fused nodes are cost-only");
+        if !node.kind.replayable() {
+            continue;
+        }
+        let lhs = vec![operand(&results, node.inputs[0])];
+        let rhs = if node.kind.arity() == 2 {
+            vec![operand(&results, node.inputs[1])]
+        } else {
+            Vec::new()
+        };
+        results[node.id] = Some(
+            exec_group(ev, keys, node.kind, node.level, lhs, rhs)
+                .pop()
+                .unwrap(),
+        );
+    }
+    assert_eq!(next_input, inputs.len(), "unused input ciphertexts");
+    results
+}
+
+/// Executes a schedule: every [`crate::sched::FusedBatch`] runs as one
+/// batched-evaluator call over its member ops (single-member groups
+/// take the eager path), in schedule order. Semantics and panics match
+/// [`replay`]; results are bit-identical to it.
+pub fn execute_schedule(
+    graph: &OpGraph,
+    schedule: &Schedule,
+    ev: &Evaluator,
+    keys: &ReplayKeys,
+    inputs: &[Ciphertext],
+) -> Vec<Option<Ciphertext>> {
+    let mut results: Vec<Option<Ciphertext>> = vec![None; graph.len()];
+    let mut next_input = 0usize;
+    for node in graph.nodes() {
+        if node.kind == HeOpKind::Input {
+            assert!(next_input < inputs.len(), "not enough input ciphertexts");
+            results[node.id] = Some(inputs[next_input].clone());
+            next_input += 1;
+        }
+    }
+    assert_eq!(next_input, inputs.len(), "unused input ciphertexts");
+
+    for batch in &schedule.batches {
+        if !batch.kind.replayable() {
+            continue;
+        }
+        let mut lhs = Vec::with_capacity(batch.nodes.len());
+        let mut rhs = Vec::new();
+        for &id in &batch.nodes {
+            let node = graph.node(id);
+            assert_eq!(node.batch, 1, "pre-fused nodes cannot be executed");
+            lhs.push(operand(&results, node.inputs[0]));
+            if node.kind.arity() == 2 {
+                rhs.push(operand(&results, node.inputs[1]));
+            }
+        }
+        let out = exec_group(ev, keys, batch.kind, batch.level, lhs, rhs);
+        for (&id, ct) in batch.nodes.iter().zip(out) {
+            results[id] = Some(ct);
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Recorder;
+    use cross_ckks::{CkksContext, CkksParams};
+
+    fn setup() -> (CkksContext, cross_ckks::KeyPair) {
+        let ctx = CkksContext::new(CkksParams::toy(), 7);
+        let kp = ctx.generate_keys();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn replay_matches_eager_chain() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let rk = ctx.generate_rotation_key(&kp.secret, 1);
+        let msg: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| 0.3 + 0.001 * i as f64)
+            .collect();
+        let ct = ctx.encrypt(&msg, &kp.public);
+
+        let mut r = Recorder::new();
+        let x = r.input(ct.level);
+        let y = r.rotate(x, 1);
+        let z = r.mult(x, y);
+        let w = r.add(z, z);
+        let g = r.finish();
+
+        let keys = ReplayKeys::new()
+            .with_relin(&kp.relin)
+            .with_rotation(1, &rk);
+        let got = replay(&g, &ev, &keys, std::slice::from_ref(&ct));
+
+        let ey = ev.rotate(&ct, 1, &rk);
+        let ez = ev.mult(&ct, &ey, &kp.relin);
+        let ew = ev.add(&ez, &ez);
+        let rep = got[w.node].as_ref().unwrap();
+        assert_eq!(rep.c0.limbs(), ew.c0.limbs());
+        assert_eq!(rep.c1.limbs(), ew.c1.limbs());
+        assert_eq!(rep.scale, ew.scale);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rotation key")]
+    fn missing_rotation_key_panics() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let ct = ctx.encrypt(&vec![0.1; ctx.slot_count()], &kp.public);
+        let mut r = Recorder::new();
+        let x = r.input(ct.level);
+        r.rotate(x, 3);
+        let g = r.finish();
+        let _ = replay(&g, &ev, &ReplayKeys::new(), std::slice::from_ref(&ct));
+    }
+}

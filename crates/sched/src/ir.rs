@@ -1,0 +1,337 @@
+//! The HE op-graph IR: one shared representation of a homomorphic
+//! workload that the recorder emits, the cost interpreter charges, the
+//! scheduler batches, and the executor replays.
+//!
+//! A graph is a DAG of [`HeOp`] nodes over virtual ciphertext values:
+//! node `i`'s result is the ciphertext produced by executing its
+//! [`HeOpKind`] on the results of its `inputs`. Construction enforces
+//! acyclicity structurally — an input edge may only point at an
+//! already-added node — so every graph's node order *is* a topological
+//! order and interpreters never need a sort.
+
+/// Index of a node inside its [`OpGraph`].
+pub type NodeId = usize;
+
+/// The HE operator an IR node performs.
+///
+/// Parameters that change the operator's key material or its result
+/// layout (`steps`, `to_level`) live *in* the kind, so two nodes with
+/// equal kinds are batch-fusable: they run the same kernel with the
+/// same switching key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeOpKind {
+    /// A workload input (an already-encrypted ciphertext); costs
+    /// nothing.
+    Input,
+    /// HE-Add of two ciphertexts.
+    Add,
+    /// Ciphertext × plaintext multiply (diagonal matrices, masks).
+    PlainMult,
+    /// HE-Mult: tensor product + relinearization + rescale.
+    Mult,
+    /// HE-Rotate by `steps` slots (automorphism + key switch).
+    Rotate {
+        /// Slot rotation amount; part of the merge key because each
+        /// distinct step uses its own switching key.
+        steps: usize,
+    },
+    /// Rescale: divide by the last modulus, drop one limb.
+    Rescale,
+    /// Modulus drop straight to `to_level` (metadata truncation; free
+    /// in the cost model).
+    ModDrop {
+        /// Target level.
+        to_level: usize,
+    },
+    /// Standalone hybrid key switch.
+    KeySwitch,
+    /// Packed bootstrapping (cost-only; expands to the Tab. IX kernel
+    /// bundles).
+    Bootstrap,
+}
+
+impl HeOpKind {
+    /// Display label (the kernel name cost reports carry).
+    pub fn label(self) -> &'static str {
+        match self {
+            HeOpKind::Input => "Input",
+            HeOpKind::Add => "HE-Add",
+            HeOpKind::PlainMult => "HE-PMult",
+            HeOpKind::Mult => "HE-Mult",
+            HeOpKind::Rotate { .. } => "Rotate",
+            HeOpKind::Rescale => "Rescale",
+            HeOpKind::ModDrop { .. } => "ModDrop",
+            HeOpKind::KeySwitch => "KeySwitch",
+            HeOpKind::Bootstrap => "Bootstrap",
+        }
+    }
+
+    /// How many ciphertext operands the op consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            HeOpKind::Input => 0,
+            HeOpKind::Add | HeOpKind::Mult => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the op loads a switching key.
+    pub fn keyed(self) -> bool {
+        matches!(
+            self,
+            HeOpKind::Mult | HeOpKind::Rotate { .. } | HeOpKind::KeySwitch | HeOpKind::Bootstrap
+        )
+    }
+
+    /// Whether the functional executor can replay the op (the cost-only
+    /// kinds — `PlainMult` without its plaintext, standalone
+    /// `KeySwitch`, `Bootstrap` — can be costed and scheduled but not
+    /// replayed).
+    pub fn replayable(self) -> bool {
+        matches!(
+            self,
+            HeOpKind::Input
+                | HeOpKind::Add
+                | HeOpKind::Mult
+                | HeOpKind::Rotate { .. }
+                | HeOpKind::Rescale
+                | HeOpKind::ModDrop { .. }
+        )
+    }
+}
+
+/// One node of the op graph: an HE operator with level and batch
+/// metadata plus its dependency edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeOp {
+    /// This node's id (its index in the graph).
+    pub id: NodeId,
+    /// The operator.
+    pub kind: HeOpKind,
+    /// Level the op *executes* at (operands aligned to this limb
+    /// count); drives the kernel counts the cost model charges.
+    pub level: usize,
+    /// How many independent ciphertext operations this node fuses
+    /// (≥ 1). A batch-`B` node charges one fused kernel over `B`
+    /// operations; the scheduler produces such nodes by merging.
+    pub batch: usize,
+    /// Producer nodes of the operands (dependency edges).
+    pub inputs: Vec<NodeId>,
+}
+
+impl HeOp {
+    /// Level of the node's *result*: `Mult` and `Rescale` consume one
+    /// limb, `ModDrop` jumps to its target, everything else preserves
+    /// the execution level.
+    pub fn result_level(&self) -> usize {
+        match self.kind {
+            HeOpKind::Mult | HeOpKind::Rescale => self.level - 1,
+            HeOpKind::ModDrop { to_level } => to_level,
+            _ => self.level,
+        }
+    }
+}
+
+/// A dependency graph of HE operations, topologically ordered by
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpGraph {
+    nodes: Vec<HeOp>,
+}
+
+impl OpGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The one-op graph: `kind.arity()` inputs at `level` feeding a
+    /// single batch-1 node — the shape on which
+    /// `cross_sched::cost_graph` is pinned bit-identical to
+    /// `cross_ckks::costs::charge_op_pod`.
+    pub fn single_op(kind: HeOpKind, level: usize) -> Self {
+        let mut g = Self::new();
+        let ins: Vec<NodeId> = (0..kind.arity()).map(|_| g.input(level)).collect();
+        g.add_op(kind, level, 1, &ins);
+        g
+    }
+
+    /// Adds a workload input at `level`.
+    pub fn input(&mut self, level: usize) -> NodeId {
+        self.push(HeOpKind::Input, level, 1, &[])
+    }
+
+    /// Adds an operation node.
+    ///
+    /// # Panics
+    /// Panics if an input id is out of range (forward edges are
+    /// impossible — that is the acyclicity guarantee), if the operand
+    /// count does not match the kind's arity (scaled by `batch` for
+    /// fused nodes), on `batch == 0`, or on a level too low for the op
+    /// (`Mult`/`Rescale` need level ≥ 2).
+    pub fn add_op(
+        &mut self,
+        kind: HeOpKind,
+        level: usize,
+        batch: usize,
+        inputs: &[NodeId],
+    ) -> NodeId {
+        assert!(batch >= 1, "batch must be ≥ 1");
+        assert!(level >= 1, "level must be ≥ 1");
+        if matches!(kind, HeOpKind::Mult | HeOpKind::Rescale) {
+            assert!(level >= 2, "{} needs a limb to drop", kind.label());
+        }
+        if let HeOpKind::ModDrop { to_level } = kind {
+            assert!(
+                (1..=level).contains(&to_level),
+                "ModDrop target must be in [1, level]"
+            );
+        }
+        assert_eq!(
+            inputs.len(),
+            kind.arity() * batch,
+            "{} × batch {batch} expects {} operand(s)",
+            kind.label(),
+            kind.arity() * batch
+        );
+        self.push(kind, level, batch, inputs)
+    }
+
+    fn push(&mut self, kind: HeOpKind, level: usize, batch: usize, inputs: &[NodeId]) -> NodeId {
+        let id = self.nodes.len();
+        for &i in inputs {
+            assert!(i < id, "input edge {i} must point at an existing node");
+        }
+        self.nodes.push(HeOp {
+            id,
+            kind,
+            level,
+            batch,
+            inputs: inputs.to_vec(),
+        });
+        id
+    }
+
+    /// All nodes, in topological (construction) order.
+    pub fn nodes(&self) -> &[HeOp] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &HeOp {
+        &self.nodes[id]
+    }
+
+    /// Node count (including inputs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total ciphertext operations represented (Σ batch over non-input
+    /// nodes).
+    pub fn op_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind != HeOpKind::Input)
+            .map(|n| n.batch)
+            .sum()
+    }
+
+    /// Dependency wave of every node: inputs are wave 0, an op's wave
+    /// is `1 + max(wave of inputs)`. Ops in the same wave are mutually
+    /// independent — the scheduler's batch-formation domain.
+    pub fn waves(&self) -> Vec<usize> {
+        let mut wave = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            if n.kind == HeOpKind::Input {
+                continue;
+            }
+            wave[n.id] = 1 + n.inputs.iter().map(|&i| wave[i]).max().unwrap_or(0);
+        }
+        wave
+    }
+
+    /// Nodes no other node consumes (the workload's results).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                consumed[i] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !consumed[n.id])
+            .map(|n| n.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_diamond() {
+        let mut g = OpGraph::new();
+        let a = g.input(4);
+        let b = g.input(4);
+        let s = g.add_op(HeOpKind::Add, 4, 1, &[a, b]);
+        let m = g.add_op(HeOpKind::Mult, 4, 1, &[s, s]);
+        let r = g.add_op(HeOpKind::Rescale, 3, 1, &[m]);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.node(m).result_level(), 3);
+        assert_eq!(g.waves(), vec![0, 0, 1, 2, 3]);
+        assert_eq!(g.sinks(), vec![r]);
+        assert_eq!(g.op_count(), 3);
+    }
+
+    #[test]
+    fn batched_node_takes_scaled_operands() {
+        let mut g = OpGraph::new();
+        let ins: Vec<_> = (0..3).map(|_| g.input(4)).collect();
+        let rot = g.add_op(HeOpKind::Rotate { steps: 2 }, 4, 3, &ins);
+        assert_eq!(g.node(rot).batch, 3);
+        assert_eq!(g.node(rot).result_level(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing node")]
+    fn forward_edges_rejected() {
+        let mut g = OpGraph::new();
+        let a = g.input(4);
+        let _ = g.add_op(HeOpKind::Add, 4, 1, &[a, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand")]
+    fn arity_checked() {
+        let mut g = OpGraph::new();
+        let a = g.input(4);
+        let _ = g.add_op(HeOpKind::Mult, 4, 1, &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "limb to drop")]
+    fn rescale_needs_level_two() {
+        let mut g = OpGraph::new();
+        let a = g.input(1);
+        let _ = g.add_op(HeOpKind::Rescale, 1, 1, &[a]);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert!(HeOpKind::Mult.keyed());
+        assert!(!HeOpKind::Add.keyed());
+        assert_eq!(HeOpKind::Rotate { steps: 3 }.arity(), 1);
+        assert!(HeOpKind::Rotate { steps: 3 }.replayable());
+        assert!(!HeOpKind::Bootstrap.replayable());
+        // Distinct steps are distinct kinds — they must not merge.
+        assert_ne!(HeOpKind::Rotate { steps: 1 }, HeOpKind::Rotate { steps: 2 });
+    }
+}

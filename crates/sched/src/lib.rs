@@ -1,0 +1,64 @@
+//! # cross-sched
+//!
+//! The workload layer of the CROSS reproduction: an HE **op-graph IR**
+//! plus a **batch-forming pod scheduler**, so every workload estimate
+//! flows through one compiler path instead of per-bin hand-written
+//! loops.
+//!
+//! The pieces, bottom to top:
+//!
+//! * [`ir`] — [`HeOp`]/[`OpGraph`]: a dependency DAG of HE operators
+//!   with level + batch metadata, topologically ordered by
+//!   construction;
+//! * [`record`] — [`Recorder`]: write an evaluator-shaped program
+//!   against virtual ciphertexts and get the graph back;
+//! * [`cost`] — [`cost_graph`]: interpret a graph on a
+//!   [`cross_tpu::PodSim`], charging the same kernel bundles as
+//!   [`cross_ckks::costs::charge_op_pod`] /
+//!   [`cross_ckks::bootstrap::estimate_pod`] (bit-identical on
+//!   equivalent graphs);
+//! * [`sched`] — [`Scheduler`]: greedy batch formation (same op, same
+//!   level, same wave) and the limb- vs batch-parallel choice per
+//!   fused group;
+//! * [`queue`] — [`RequestQueue`]: the serving front door — submit
+//!   ops, drain scheduled batches;
+//! * [`exec`] — [`replay`]/[`execute_schedule`]: run graphs and
+//!   schedules through the (batched) evaluator, bit-exact with eager
+//!   calls.
+//!
+//! ## Example
+//!
+//! Queue a burst of rotations, form batches, and cost the schedule:
+//!
+//! ```
+//! use cross_sched::{HeOpKind, RequestQueue, Scheduler};
+//! use cross_ckks::params::ParamSet;
+//! use cross_tpu::TpuGeneration;
+//!
+//! let params = ParamSet::C.params();
+//! let mut queue = RequestQueue::new();
+//! for _ in 0..12 {
+//!     queue.submit(HeOpKind::Rotate { steps: 1 }, params.limbs);
+//! }
+//! let scheduler = Scheduler::new(TpuGeneration::V6e, 8);
+//! let dispatch = queue.drain(&scheduler, &params, 16);
+//! assert_eq!(dispatch.schedule.op_count(), 12);
+//! // All 12 rotations share a key and level → one fused batch, and
+//! // fusing beats dispatching them one by one.
+//! assert_eq!(dispatch.schedule.batches.len(), 1);
+//! assert!(dispatch.schedule.wall_s() < scheduler.naive_wall_s(&dispatch.graph, &params));
+//! ```
+
+pub mod cost;
+pub mod exec;
+pub mod ir;
+pub mod queue;
+pub mod record;
+pub mod sched;
+
+pub use cost::{cost_graph, GraphCostReport, NodeCost};
+pub use exec::{execute_schedule, replay, ReplayKeys};
+pub use ir::{HeOp, HeOpKind, NodeId, OpGraph};
+pub use queue::{Dispatch, HeRequest, RequestQueue};
+pub use record::{Recorder, Vct};
+pub use sched::{FusedBatch, Schedule, Scheduler};

@@ -1,0 +1,165 @@
+//! The serving front door: submit HE operations, drain scheduled
+//! batches.
+//!
+//! [`RequestQueue`] is the async-ready entry point of the ROADMAP's
+//! serving story. Producers [`submit`](RequestQueue::submit)
+//! operations and get back a ticket; a serving loop periodically
+//! [`drain`](RequestQueue::drain)s up to `max_ops` pending operations
+//! (its explicit argument — the scheduler's `max_fuse` then bounds
+//! each fused group *within* that slice) into an [`OpGraph`], runs
+//! the [`Scheduler`] over it, and dispatches the resulting
+//! [`Schedule`]. Everything is synchronous
+//! and lock-free by construction (one owner), so it can sit directly
+//! behind an async executor task or an mpsc channel without changes —
+//! the queue itself never blocks on hardware.
+
+use crate::ir::{HeOpKind, NodeId, OpGraph};
+use crate::sched::{Schedule, Scheduler};
+use cross_ckks::params::CkksParams;
+use std::collections::VecDeque;
+
+/// One pending HE operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeRequest {
+    /// Ticket handed back to the submitter.
+    pub ticket: u64,
+    /// Requested operator.
+    pub kind: HeOpKind,
+    /// Level the operands sit at.
+    pub level: usize,
+}
+
+/// A drained, scheduled slice of the queue.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// The ops formed into a graph (each request becomes its input
+    /// node(s) plus one op node).
+    pub graph: OpGraph,
+    /// The batch schedule over that graph.
+    pub schedule: Schedule,
+    /// Ticket → op node mapping, in submission order.
+    pub tickets: Vec<(u64, NodeId)>,
+}
+
+/// FIFO queue of HE operations awaiting batch formation.
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    pending: VecDeque<HeRequest>,
+    next_ticket: u64,
+}
+
+impl RequestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues one operation, returning its ticket.
+    ///
+    /// # Panics
+    /// Panics on [`HeOpKind::Input`] (inputs are implied by the
+    /// request's operands, not submitted).
+    pub fn submit(&mut self, kind: HeOpKind, level: usize) -> u64 {
+        assert!(kind != HeOpKind::Input, "submit operations, not inputs");
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.push_back(HeRequest {
+            ticket,
+            kind,
+            level,
+        });
+        ticket
+    }
+
+    /// Pending operations.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Pops up to `max_ops` requests and builds the op graph: each
+    /// request gets fresh input node(s) at its level plus one batch-1
+    /// op node (the scheduler does the merging).
+    pub fn form_graph(&mut self, max_ops: usize) -> (OpGraph, Vec<(u64, NodeId)>) {
+        let mut graph = OpGraph::new();
+        let mut tickets = Vec::new();
+        while tickets.len() < max_ops {
+            let Some(req) = self.pending.pop_front() else {
+                break;
+            };
+            let ins: Vec<NodeId> = (0..req.kind.arity())
+                .map(|_| graph.input(req.level))
+                .collect();
+            let node = graph.add_op(req.kind, req.level, 1, &ins);
+            tickets.push((req.ticket, node));
+        }
+        (graph, tickets)
+    }
+
+    /// Drains up to `max_ops` pending operations and schedules them.
+    pub fn drain(
+        &mut self,
+        scheduler: &Scheduler,
+        params: &CkksParams,
+        max_ops: usize,
+    ) -> Dispatch {
+        let (graph, tickets) = self.form_graph(max_ops);
+        let schedule = scheduler.schedule(&graph, params);
+        Dispatch {
+            graph,
+            schedule,
+            tickets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_ckks::params::ParamSet;
+    use cross_tpu::TpuGeneration;
+
+    #[test]
+    fn tickets_are_sequential_and_fifo() {
+        let mut q = RequestQueue::new();
+        let t0 = q.submit(HeOpKind::Add, 4);
+        let t1 = q.submit(HeOpKind::Mult, 4);
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(q.len(), 2);
+        let (g, tickets) = q.form_graph(8);
+        assert!(q.is_empty());
+        assert_eq!(tickets.len(), 2);
+        assert_eq!(tickets[0].0, 0);
+        // Add: 2 inputs + op; Mult: 2 inputs + op.
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.op_count(), 2);
+    }
+
+    #[test]
+    fn drain_respects_cap_and_keeps_remainder() {
+        let params = ParamSet::B.params();
+        let mut q = RequestQueue::new();
+        for _ in 0..5 {
+            q.submit(HeOpKind::Rotate { steps: 1 }, params.limbs);
+        }
+        let s = Scheduler::new(TpuGeneration::V6e, 4);
+        let d = q.drain(&s, &params, 3);
+        assert_eq!(d.tickets.len(), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(d.schedule.op_count(), 3);
+        // All three rotations are compatible — one fused batch.
+        assert_eq!(d.schedule.batches.len(), 1);
+        assert_eq!(d.schedule.batches[0].ops, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "operations, not inputs")]
+    fn input_submissions_rejected() {
+        let mut q = RequestQueue::new();
+        q.submit(HeOpKind::Input, 4);
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`tpu`] — the functional + analytical TPU simulator;
 //! * [`core`] — the CROSS compiler (BAT + MAT + lowering);
 //! * [`ckks`] — the RNS-CKKS scheme substrate;
+//! * [`sched`] — the HE op-graph IR and batch-forming pod scheduler;
 //! * [`baselines`] — GPU-style algorithms and the published dataset.
 //!
 //! ## Quickstart
@@ -72,10 +73,42 @@
 //! assert_eq!(rep.per_core_latency_s.len(), 8);      // load-balance picture
 //! println!("{:.0} us, {:.0}% comm", rep.latency_us(), rep.comm_fraction() * 100.0);
 //! ```
+//!
+//! ## Op-graph IR and the pod scheduler
+//!
+//! Whole workloads are expressed as a [`sched::OpGraph`] — recorded
+//! with [`sched::Recorder`] or submitted through the
+//! [`sched::RequestQueue`] front door — then batch-formed by
+//! [`sched::Scheduler`] and costed in one pass by
+//! [`sched::cost_graph`] (this is the README's scheduler doctest):
+//!
+//! ```
+//! use cross::ckks::costs::ExecMode;
+//! use cross::ckks::params::ParamSet;
+//! use cross::sched::{cost_graph, HeOpKind, RequestQueue, Scheduler};
+//! use cross::tpu::{PodSim, TpuGeneration};
+//!
+//! let params = ParamSet::C.params();
+//! let mut queue = RequestQueue::new();
+//! for _ in 0..8 {
+//!     queue.submit(HeOpKind::Mult, params.limbs);
+//! }
+//! let scheduler = Scheduler::new(TpuGeneration::V6e, 8);
+//! let dispatch = queue.drain(&scheduler, &params, 8);
+//! assert_eq!(dispatch.schedule.batches.len(), 1); // 8 mults fuse
+//! // The same graph, interpreted: per-node PodKernelReports plus the
+//! // whole-graph critical-path/amortized totals.
+//! let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+//! let report = cost_graph(&mut pod, &params, &dispatch.graph, ExecMode::FusedBatch);
+//! assert!(report.critical_s > 0.0 && report.comm_s > 0.0);
+//! // Fused batches beat dispatching each op alone.
+//! assert!(dispatch.schedule.wall_s() < scheduler.naive_wall_s(&dispatch.graph, &params));
+//! ```
 
 pub use cross_baselines as baselines;
 pub use cross_ckks as ckks;
 pub use cross_core as core;
 pub use cross_math as math;
 pub use cross_poly as poly;
+pub use cross_sched as sched;
 pub use cross_tpu as tpu;

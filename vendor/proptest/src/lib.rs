@@ -62,6 +62,25 @@ pub mod strategy {
             rng.gen_range(self.clone())
         }
     }
+
+    // Tuples of strategies sample component-wise (upstream proptest
+    // provides the same impls).
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
 }
 
 pub mod arbitrary {
@@ -127,24 +146,56 @@ pub mod collection {
 
     use crate::strategy::Strategy;
     use rand::rngs::StdRng;
+    use rand::Rng;
 
-    /// Strategy producing `Vec`s of a fixed length.
+    /// Length specification for [`vec()`], mirroring
+    /// `proptest::collection::SizeRange`: a fixed size or a half-open
+    /// range of sizes.
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s with lengths drawn from a [`SizeRange`].
     pub struct VecStrategy<S> {
         element: S,
-        len: usize,
+        size: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.element.sample(rng)).collect()
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }
 
-    /// `vec(element, len)` — mirrors `proptest::collection::vec` for the
-    /// fixed-size case (the only one the workspace uses).
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    /// `vec(element, size)` — mirrors `proptest::collection::vec`:
+    /// `size` is a fixed length or a `Range<usize>` of lengths.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -268,6 +319,19 @@ mod tests {
         fn vec_has_requested_len(v in crate::collection::vec(0u64..100, 17)) {
             prop_assert_eq!(v.len(), 17);
             prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn vec_with_ranged_len(v in crate::collection::vec(0u64..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(
+            t in (0u64..4, 10usize..12, any::<bool>()),
+        ) {
+            prop_assert!(t.0 < 4);
+            prop_assert!((10..12).contains(&t.1));
         }
 
         #[test]
