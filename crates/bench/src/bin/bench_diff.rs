@@ -21,7 +21,11 @@
 //! It also re-checks the batching claim: every `batched_ntt/*_fused/*`
 //! entry must beat its `*_sequential/*` counterpart (failing), and
 //! every `sched_model/fused_per_op/*` entry must beat its
-//! `naive_per_op` counterpart (failing).
+//! `naive_per_op` counterpart (failing). The serving-loop claim —
+//! `serve_throughput/serve_multi/*` sustaining at least
+//! `single_drain/*`'s throughput — is checked **warn-only**: both
+//! sides are wall-clock, and on a single-core runner the loop can at
+//! best tie the synchronous path (see the bench's module docs).
 
 use criterion::results;
 use cross_bench::banner;
@@ -110,13 +114,16 @@ fn main() {
         }
     }
 
-    // The batching claim: fused beats sequential/naive for every pair.
+    // The batching claim: fused beats sequential/naive for every pair
+    // (failing). The serving claim — the multi-worker loop sustains
+    // the single-thread drain's throughput — is warn-only wall-clock.
     let pairs = [
-        ("_fused/", "_sequential/"),
-        ("/fused_per_op/", "/naive_per_op/"),
+        ("_fused/", "_sequential/", true),
+        ("/fused_per_op/", "/naive_per_op/", true),
+        ("/serve_multi/", "/single_drain/", false),
     ];
     for (label, &ns) in &results {
-        for (fused_tag, other_tag) in pairs {
+        for (fused_tag, other_tag, gating) in pairs {
             let Some(i) = label.find(fused_tag) else {
                 continue;
             };
@@ -132,10 +139,15 @@ fn main() {
                         "OK: {label} ({ns:.0} ns) beats {other_label} ({other_ns:.0} ns), {:.2}x",
                         other_ns / ns
                     );
-                } else {
+                } else if gating {
                     failures += 1;
                     println!(
                         "FAIL: {label} ({ns:.0} ns) did NOT beat {other_label} ({other_ns:.0} ns)"
+                    );
+                } else {
+                    warnings += 1;
+                    println!(
+                        "WARN: {label} ({ns:.0} ns) did not beat {other_label} ({other_ns:.0} ns)"
                     );
                 }
             }

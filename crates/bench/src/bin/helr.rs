@@ -10,8 +10,14 @@
 //! [`cross_sched::cost_graph`] — one compiler path instead of a
 //! hand-written op-count loop.
 
+//! `--serve` runs the serving smoke instead of the estimate: N client
+//! threads drive a HELR-shaped rotate/square/add mix through the
+//! `cross_sched::serve` loop with real (toy-parameter) ciphertexts,
+//! wait on every completion, and report requests/sec plus batch
+//! occupancy (DESIGN.md §8).
+
 use cross_baselines::devices::PAPER_HELR_MS_PER_ITER;
-use cross_bench::banner;
+use cross_bench::{banner, print_serve_smoke, serve_smoke};
 use cross_ckks::params::CkksParams;
 use cross_sched::{Recorder, Scheduler, Vct};
 use cross_tpu::TpuGeneration;
@@ -63,6 +69,17 @@ fn record_iteration(level: usize) -> cross_sched::OpGraph {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        banner("HELR serving smoke: multi-threaded loop, real ciphertexts");
+        let (workers, clients, per_client) = (4, 4, 9);
+        let smoke = serve_smoke(TpuGeneration::V6e, 8, workers, clients, per_client);
+        print_serve_smoke("helr --serve", workers, clients, &smoke);
+        assert!(
+            smoke.occupancy >= 1.0,
+            "every op rides in a batch of at least itself"
+        );
+        return;
+    }
     banner("Sec. V-D: HELR logistic regression, one iteration");
     // HELR-scale parameters mapped to 28-bit moduli (double rescaling).
     let params = CkksParams::new(1 << 16, 30, 3, 28);

@@ -11,8 +11,13 @@
 //! the pod cost model. The old hand-written op-count loop is gone —
 //! the graph is the single source of the estimate.
 
+//! `--serve` runs the serving smoke instead of the estimate: N client
+//! threads drive an inference-shaped request mix through the
+//! `cross_sched::serve` loop with real (toy-parameter) ciphertexts
+//! (DESIGN.md §8).
+
 use cross_baselines::devices::PAPER_MNIST_MS_PER_IMAGE;
-use cross_bench::banner;
+use cross_bench::{banner, print_serve_smoke, serve_smoke};
 use cross_ckks::costs::ExecMode;
 use cross_ckks::params::CkksParams;
 use cross_sched::{OpGraph, Recorder, Scheduler, Vct};
@@ -121,6 +126,14 @@ fn record_network(level: usize) -> OpGraph {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        banner("MNIST serving smoke: multi-threaded loop, real ciphertexts");
+        let (workers, clients, per_client) = (4, 8, 6);
+        let smoke = serve_smoke(TpuGeneration::V6e, 8, workers, clients, per_client);
+        print_serve_smoke("mnist --serve", workers, clients, &smoke);
+        assert!(smoke.occupancy >= 1.0);
+        return;
+    }
     banner("Sec. V-D: encrypted MNIST CNN inference (batch 64, v6e-8)");
     let params = CkksParams::new(1 << 13, 18, 3, 28);
     let graph = record_network(params.limbs);

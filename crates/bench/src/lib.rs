@@ -30,6 +30,91 @@ pub fn banner(title: &str) {
     println!("==== {title} ====");
 }
 
+/// Outcome of one [`serve_smoke`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSmoke {
+    /// Requests completed (all of them, or the run panicked).
+    pub requests: usize,
+    /// Wall-clock requests per second through the loop.
+    pub requests_per_sec: f64,
+    /// Mean ops per fused batch across the run.
+    pub occupancy: f64,
+}
+
+/// Drives the `cross_sched::serve` loop end to end with real (toy
+/// parameter) ciphertexts: `clients` client threads each submit
+/// `per_client` requests — a serving-shaped rotate/square/add mix —
+/// wait on every completion, and fetch the result ciphertexts back
+/// out of the store. Shared by the `helr` and `mnist` bins' `--serve`
+/// mode and the `serve_throughput` bench.
+///
+/// Functional execution forces toy parameters (the workload bins'
+/// HELR/MNIST-scale parameter sets are cost-model-only); the
+/// *modeled* pod cost each completion carries still reflects `gen` ×
+/// `cores`.
+pub fn serve_smoke(
+    gen: TpuGeneration,
+    cores: u32,
+    workers: usize,
+    clients: usize,
+    per_client: usize,
+) -> ServeSmoke {
+    use cross_ckks::{CkksContext, CkksParams};
+    use cross_sched::serve::{self, ServeConfig, ServeKeys};
+
+    let ctx = CkksContext::new(CkksParams::toy(), 97);
+    let kp = ctx.generate_keys();
+    let keys = ServeKeys::new()
+        .with_relin(kp.relin.clone())
+        .with_rotation(1, ctx.generate_rotation_key(&kp.secret, 1));
+    let config = ServeConfig::new(gen, cores).with_workers(workers);
+
+    let start = std::time::Instant::now();
+    let stats = serve::run(&ctx, &keys, &config, |client| {
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let (client, ctx, kp) = (&client, &ctx, &kp);
+                s.spawn(move || {
+                    let msg: Vec<f64> = (0..ctx.slot_count())
+                        .map(|i| 0.2 + ((i + c) as f64 * 0.13).sin() * 0.25)
+                        .collect();
+                    let x = client.insert(ctx.encrypt(&msg, &kp.public));
+                    for i in 0..per_client {
+                        let completion = match i % 3 {
+                            0 => client.rotate(x, 1),
+                            1 => client.mult(x, x),
+                            _ => client.add(x, x),
+                        }
+                        .expect("loop accepts while clients live");
+                        let done = completion.wait().expect("valid requests complete");
+                        // Claim the response so the store stays bounded.
+                        let _ct = client.take(done.id).expect("result stored");
+                    }
+                });
+            }
+        });
+        client.stats()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let requests = clients * per_client;
+    assert_eq!(stats.ops as usize, requests, "every request was scheduled");
+    ServeSmoke {
+        requests,
+        requests_per_sec: requests as f64 / elapsed,
+        occupancy: stats.occupancy(),
+    }
+}
+
+/// Prints one [`serve_smoke`] run in the shape the workload bins and
+/// CI logs share.
+pub fn print_serve_smoke(label: &str, workers: usize, clients: usize, smoke: &ServeSmoke) {
+    println!(
+        "{label}: {} requests over {clients} client thread(s), {workers} worker(s): \
+         {:.0} req/s, mean batch occupancy {:.2} ops",
+        smoke.requests, smoke.requests_per_sec, smoke.occupancy
+    );
+}
+
 /// Prints a category breakdown as aligned percentages (the Fig. 12 /
 /// Tab. IX row shape). Accepts busy seconds or already-normalized
 /// fractions — rows are renormalized by their sum either way.

@@ -1,0 +1,471 @@
+//! A registry-free bounded channel for the serving loop.
+//!
+//! The offline image has no `tokio`/`crossbeam` (DESIGN.md §5: only
+//! the three vendored stubs exist), so this module provides the one
+//! queueing primitive `serve` needs on plain
+//! [`std::sync::Mutex`]/[`Condvar`]: a **bounded** multi-producer
+//! channel with both backpressure flavors —
+//! [`send`](Sender::send) blocks while the queue is at capacity,
+//! [`try_send`](Sender::try_send) returns the value instead. The
+//! receive side is cloneable too, so a pool of workers can drain one
+//! queue ("mpsc-style" in the serving architecture; mechanically MPMC).
+//!
+//! Close semantics mirror [`std::sync::mpsc`]: when every [`Sender`]
+//! is dropped, receivers drain what is queued and then observe
+//! end-of-stream ([`recv`](Receiver::recv) returns `None`); when every
+//! [`Receiver`] is dropped, senders get their value back as an error.
+//! [`recv_batch`](Receiver::recv_batch) is the dispatcher's natural
+//! batching primitive: block until at least one item is available,
+//! then take everything already queued (up to a cap) without waiting
+//! for more.
+//!
+//! # Examples
+//!
+//! ```
+//! use cross_sched::channel;
+//!
+//! let (tx, rx) = channel::bounded(4);
+//! for i in 0..3 {
+//!     tx.send(i).unwrap();
+//! }
+//! drop(tx); // close: the receiver drains, then sees end-of-stream
+//! assert_eq!(rx.recv_batch(8), vec![0, 1, 2]);
+//! assert_eq!(rx.recv(), None);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The channel was closed (every receiver dropped); the unsent value
+/// is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why [`Sender::try_send`] could not enqueue; the value is handed
+/// back in either case.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity (the [`Backpressure::Reject`] signal).
+    ///
+    /// [`Backpressure::Reject`]: crate::queue::Backpressure::Reject
+    Full(T),
+    /// Every receiver is gone.
+    Closed(T),
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    // Parked gatherers (recv_batch_window phase 2). Senders never
+    // signal this one: a gathering receiver polls on a fine timeout
+    // instead, so producers filling a batch are not preempted by a
+    // wake-per-item storm (one context switch per send costs more
+    // than the whole batch on a busy core). Only channel close
+    // signals it, for prompt shutdown.
+    gather: Condvar,
+}
+
+/// Creates a bounded channel holding at most `capacity` queued values.
+///
+/// # Panics
+/// Panics if `capacity == 0` (a zero-capacity rendezvous channel is
+/// not needed by the serving loop and is deliberately unsupported).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "channel capacity must be ≥ 1");
+    let shared = Arc::new(Shared {
+        capacity,
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        gather: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Producing half of a [`bounded`] channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the queue is at capacity (the
+    /// [`Backpressure::Block`] policy). Fails only when every receiver
+    /// is gone.
+    ///
+    /// [`Backpressure::Block`]: crate::queue::Backpressure::Block
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.shared.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Enqueues `value` without blocking: at capacity the value comes
+    /// back as [`TrySendError::Full`] (the [`Backpressure::Reject`]
+    /// policy).
+    ///
+    /// [`Backpressure::Reject`]: crate::queue::Backpressure::Reject
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Closed(value));
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake blocked receivers so they observe end-of-stream.
+            self.shared.not_empty.notify_all();
+            self.shared.gather.notify_all();
+        }
+    }
+}
+
+/// Consuming half of a [`bounded`] channel; cloneable so a worker pool
+/// can share one queue.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues one value, blocking while the queue is empty. `None`
+    /// means every sender is gone *and* the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeues one value without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().unwrap();
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Blocks until at least one value is queued, then takes up to
+    /// `max` already-queued values without waiting for more — the
+    /// dispatcher's batch-forming primitive. An empty vec means the
+    /// channel is closed and drained.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn recv_batch(&self, max: usize) -> Vec<T> {
+        assert!(max >= 1, "batch cap must be ≥ 1");
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if !st.queue.is_empty() {
+                let k = max.min(st.queue.len());
+                let out: Vec<T> = st.queue.drain(..k).collect();
+                self.shared.not_full.notify_all();
+                return out;
+            }
+            if st.senders == 0 {
+                return Vec::new();
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Like [`recv_batch`](Self::recv_batch), plus a bounded
+    /// micro-batching window: after the first item arrives, keep
+    /// gathering until `max` items are queued or `window` expires —
+    /// the classic throughput/latency trade for a batch-forming
+    /// server. `window == Duration::ZERO` is exactly `recv_batch`.
+    ///
+    /// The window is bounded, so a partial batch is always dispatched
+    /// (no deadlock when producers go quiet while holding tickets).
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn recv_batch_window(&self, max: usize, window: std::time::Duration) -> Vec<T> {
+        assert!(max >= 1, "batch cap must be ≥ 1");
+        // The queue can never hold more than the channel capacity (and
+        // nothing drains mid-gather), so a larger target would always
+        // wait out the whole window with producers parked on not_full.
+        let max = max.min(self.shared.capacity);
+        let mut st = self.shared.state.lock().unwrap();
+        // Block for the first item (or the close).
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.senders == 0 {
+                return Vec::new();
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+        // Gather until the batch fills or the window expires. Senders
+        // do not signal `gather`, so this polls at a fine interval —
+        // producers fill the batch without being preempted per item,
+        // and a full batch is still detected within one poll step.
+        let poll = std::time::Duration::from_micros(200);
+        let deadline = std::time::Instant::now() + window;
+        while st.queue.len() < max && st.senders > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let step = (deadline - now).min(poll);
+            let (guard, _) = self.shared.gather.wait_timeout(st, step).unwrap();
+            st = guard;
+        }
+        let k = max.min(st.queue.len());
+        let out: Vec<T> = st.queue.drain(..k).collect();
+        self.shared.not_full.notify_all();
+        out
+    }
+
+    /// Values currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether nothing is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            // Wake blocked senders so they observe the close.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fifo() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn try_send_rejects_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Some(1));
+        // One slot freed: the next try_send goes through.
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u64).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || tx.send(2).is_ok());
+            // The blocked sender completes once we pop.
+            assert_eq!(rx.recv(), Some(1));
+            assert!(h.join().unwrap());
+            assert_eq!(rx.recv(), Some(2));
+        });
+    }
+
+    #[test]
+    fn close_on_all_senders_dropped() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        tx2.send(8).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), Some(8));
+        assert_eq!(rx.recv(), None);
+        assert!(rx.recv_batch(4).is_empty());
+    }
+
+    #[test]
+    fn close_on_receiver_dropped() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Closed(2)));
+    }
+
+    #[test]
+    fn recv_batch_takes_what_is_queued() {
+        let (tx, rx) = bounded(8);
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv_batch(4), vec![4, 5]);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        // Capacity below the item count: the producer leans on the
+        // blocking backpressure while two receivers drain.
+        let (tx, rx) = bounded(16);
+        let rx2 = rx.clone();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let ha = s.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let hb = s.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            a = ha.join().unwrap();
+            b = hb.join().unwrap();
+        });
+        let mut all: Vec<u32> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be ≥ 1")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn batch_window_fills_or_expires() {
+        use std::time::Duration;
+        let (tx, rx) = bounded(16);
+        // Window zero behaves like recv_batch: take what is there.
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv_batch_window(8, Duration::ZERO), vec![1, 2]);
+        // A full batch returns without waiting out the window.
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_batch_window(4, Duration::from_secs(60)),
+            vec![0, 1, 2, 3]
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5), "did not wait");
+        // A slow producer is gathered within the window.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 10..13 {
+                    std::thread::sleep(Duration::from_millis(5));
+                    tx.send(i).unwrap();
+                }
+            });
+            let got = rx.recv_batch_window(3, Duration::from_secs(60));
+            assert_eq!(got, vec![10, 11, 12]);
+        });
+        // The window expires on a quiet channel with senders alive.
+        tx.send(99).unwrap();
+        assert_eq!(rx.recv_batch_window(8, Duration::from_millis(10)), vec![99]);
+    }
+
+    #[test]
+    fn batch_window_caps_at_channel_capacity() {
+        use std::time::Duration;
+        // A gather target above the capacity can never be met (nothing
+        // drains mid-gather): it must clamp, not wait out the window.
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_batch_window(64, Duration::from_secs(60)),
+            vec![1, 2]
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "clamped, not stalled"
+        );
+    }
+}

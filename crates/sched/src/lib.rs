@@ -21,10 +21,18 @@
 //!   level, same wave) and the limb- vs batch-parallel choice per
 //!   fused group;
 //! * [`queue`] — [`RequestQueue`]: the serving front door — submit
-//!   ops, drain scheduled batches;
+//!   ops (bounded, with per-ticket [`Completion`] slots), drain
+//!   scheduled batches;
 //! * [`exec`] — [`replay`]/[`execute_schedule`]: run graphs and
 //!   schedules through the (batched) evaluator, bit-exact with eager
-//!   calls.
+//!   calls;
+//! * [`channel`] — a registry-free bounded channel (block or reject
+//!   at capacity);
+//! * [`serve`] — [`serve::run`]: the multi-threaded serving loop —
+//!   a dispatcher thread batches submissions through the scheduler,
+//!   scoped worker threads execute them, every ticket resolves to a
+//!   [`Completion`] carrying the result ciphertext id and the modeled
+//!   cost of the batch it rode in.
 //!
 //! ## Example
 //!
@@ -49,16 +57,22 @@
 //! assert!(dispatch.schedule.wall_s() < scheduler.naive_wall_s(&dispatch.graph, &params));
 //! ```
 
+pub mod channel;
 pub mod cost;
 pub mod exec;
 pub mod ir;
 pub mod queue;
 pub mod record;
 pub mod sched;
+pub mod serve;
 
 pub use cost::{cost_graph, GraphCostReport, NodeCost};
 pub use exec::{execute_schedule, replay, ReplayKeys};
 pub use ir::{HeOp, HeOpKind, NodeId, OpGraph};
-pub use queue::{Dispatch, HeRequest, RequestQueue};
+pub use queue::{
+    Backpressure, BatchStats, Completed, Completion, CtId, Dispatch, HeRequest, QueueFull,
+    RequestQueue, ServeError,
+};
 pub use record::{Recorder, Vct};
 pub use sched::{FusedBatch, Schedule, Scheduler};
+pub use serve::{Client, ServeConfig, ServeKeys, ServeStats, SubmitError};

@@ -1,22 +1,222 @@
 //! The serving front door: submit HE operations, drain scheduled
-//! batches.
+//! batches, resolve tickets through completion slots.
 //!
-//! [`RequestQueue`] is the async-ready entry point of the ROADMAP's
-//! serving story. Producers [`submit`](RequestQueue::submit)
-//! operations and get back a ticket; a serving loop periodically
+//! [`RequestQueue`] is the entry point of the ROADMAP's serving story.
+//! Producers [`submit`](RequestQueue::submit) operations and get back
+//! a ticket; a serving loop periodically
 //! [`drain`](RequestQueue::drain)s up to `max_ops` pending operations
 //! (its explicit argument — the scheduler's `max_fuse` then bounds
 //! each fused group *within* that slice) into an [`OpGraph`], runs
 //! the [`Scheduler`] over it, and dispatches the resulting
-//! [`Schedule`]. Everything is synchronous
-//! and lock-free by construction (one owner), so it can sit directly
-//! behind an async executor task or an mpsc channel without changes —
-//! the queue itself never blocks on hardware.
+//! [`Schedule`]. The queue itself is synchronous and lock-free by
+//! construction (one owner), so it can sit directly behind a channel:
+//! that is exactly what [`crate::serve`] does, wrapping one
+//! `RequestQueue` in a dispatcher thread behind
+//! [`crate::channel::bounded`].
+//!
+//! Three serving building blocks live here alongside the queue:
+//!
+//! * **Completion slots** — [`submit_tracked`] pairs a ticket with a
+//!   [`Completion`] handle; whoever executes the drained [`Dispatch`]
+//!   fulfills the slot exactly once and every clone of the handle can
+//!   [`wait`](Completion::wait)/[`try_wait`](Completion::try_wait) on
+//!   the outcome ([`Completed`]: the result ciphertext id plus the
+//!   modeled [`BatchStats`] of the fused batch the op rode in).
+//! * **Bounded depth** — [`RequestQueue::bounded`] caps pending
+//!   operations; [`try_submit`] surfaces [`QueueFull`] instead of
+//!   growing without limit.
+//! * **[`Backpressure`]** — the policy enum the serving loop applies
+//!   when its intake is at capacity: block the producer or reject the
+//!   request.
+//!
+//! [`submit_tracked`]: RequestQueue::submit_tracked
+//! [`try_submit`]: RequestQueue::try_submit
+//!
+//! # Examples
+//!
+//! Bounded submission with per-ticket completion slots (the serving
+//! loop drives this same surface from its dispatcher thread):
+//!
+//! ```
+//! use cross_ckks::params::ParamSet;
+//! use cross_sched::{HeOpKind, RequestQueue, Scheduler};
+//! use cross_tpu::TpuGeneration;
+//!
+//! let params = ParamSet::B.params();
+//! let mut queue = RequestQueue::bounded(2);
+//! let (t0, c0) = queue.submit_tracked(HeOpKind::Add, params.limbs);
+//! let _ = queue.submit(HeOpKind::Mult, params.limbs);
+//! // At capacity: try_submit rejects instead of growing the queue.
+//! assert!(queue.try_submit(HeOpKind::Add, params.limbs).is_err());
+//! assert!(c0.try_wait().is_none()); // nothing executed yet
+//!
+//! let scheduler = Scheduler::new(TpuGeneration::V6e, 4);
+//! let dispatch = queue.drain(&scheduler, &params, 8);
+//! assert_eq!(dispatch.tickets[0].0, t0);
+//! // The drained dispatch carries the slot for the executor to fulfill.
+//! assert!(dispatch.completions[0].is_some());
+//! assert!(dispatch.completions[1].is_none()); // untracked submission
+//! ```
 
 use crate::ir::{HeOpKind, NodeId, OpGraph};
 use crate::sched::{Schedule, Scheduler};
 use cross_ckks::params::CkksParams;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Id of a ciphertext in a serving-loop store (see
+/// [`crate::serve::Client::insert`]).
+pub type CtId = u64;
+
+/// What happens when a bounded intake is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the producer until a slot frees (lossless; producers slow
+    /// to the loop's service rate).
+    #[default]
+    Block,
+    /// Hand the request back immediately (the producer sees
+    /// queue-full and decides — retry, shed, degrade).
+    Reject,
+}
+
+/// A bounded queue refused a submission ([`RequestQueue::try_submit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("request queue at capacity")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Modeled pod cost of the fused batch a ticket rode in — the
+/// scheduler's own figures for that [`crate::sched::FusedBatch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Ciphertext operations fused into the batch (1 = the op ran
+    /// alone; larger = it shared its kernel, key load and twiddles).
+    pub ops: usize,
+    /// Modeled wall seconds of the whole batch.
+    pub wall_s: f64,
+    /// Modeled per-op seconds under the chosen sharding.
+    pub per_op_s: f64,
+}
+
+/// Successful ticket outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completed {
+    /// Store id of the result ciphertext
+    /// ([`crate::serve::Client::fetch`]/[`take`] retrieves it).
+    ///
+    /// [`take`]: crate::serve::Client::take
+    pub id: CtId,
+    /// Cost of the batch the op was fused into.
+    pub batch: BatchStats,
+}
+
+/// Why a serving ticket failed (validation errors — the loop never
+/// executes a request it cannot complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// An operand id is not (or no longer) in the store. Wait on the
+    /// producing ticket before consuming its result.
+    UnresolvedOperand(CtId),
+    /// The server holds no switching key for the op (relinearization
+    /// key for `Mult`, per-step rotation key for `Rotate`).
+    MissingKey(&'static str),
+    /// The operands' level cannot host the op (`Mult`/`Rescale` need
+    /// level ≥ 2; `ModDrop` targets must lie in `[1, level]`).
+    InvalidLevel(&'static str),
+    /// `Add` operands whose scales diverge beyond the CKKS tolerance.
+    ScaleMismatch,
+    /// The executing side failed (a worker panicked mid-dispatch, or
+    /// the loop shut down with the dispatch unexecuted). The panic
+    /// still propagates out of the serving loop — this outcome exists
+    /// so waiting clients unblock instead of hanging.
+    ExecutionFailed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnresolvedOperand(id) => write!(f, "operand ciphertext {id} not in store"),
+            ServeError::MissingKey(op) => write!(f, "no switching key for {op}"),
+            ServeError::InvalidLevel(op) => write!(f, "operand level cannot host {op}"),
+            ServeError::ScaleMismatch => f.write_str("Add operand scales diverge"),
+            ServeError::ExecutionFailed => f.write_str("execution failed before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<Option<Result<Completed, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A per-ticket completion handle: cloneable, waitable, fulfilled
+/// exactly once by whoever executes the dispatch.
+///
+/// The submitter keeps one clone and [`wait`](Completion::wait)s; the
+/// executing side receives another clone inside
+/// [`Dispatch::completions`] and fulfills it. Fulfilling twice is a
+/// bug and panics.
+#[derive(Debug, Clone, Default)]
+pub struct Completion {
+    slot: Arc<Slot>,
+}
+
+impl Completion {
+    /// A fresh, unfulfilled slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until the ticket resolves, then returns the outcome.
+    pub fn wait(&self) -> Result<Completed, ServeError> {
+        let mut st = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(outcome) = *st {
+                return outcome;
+            }
+            st = self.slot.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Returns the outcome if the ticket already resolved.
+    pub fn try_wait(&self) -> Option<Result<Completed, ServeError>> {
+        *self.slot.state.lock().unwrap()
+    }
+
+    /// Resolves the ticket. Crate-internal: only the executing side of
+    /// a serving loop fulfills slots.
+    ///
+    /// # Panics
+    /// Panics if the slot was already fulfilled — every ticket
+    /// completes exactly once.
+    pub(crate) fn fulfill(&self, outcome: Result<Completed, ServeError>) {
+        assert!(self.fulfill_if_empty(outcome), "ticket fulfilled twice");
+    }
+
+    /// Resolves the ticket unless it already resolved; returns whether
+    /// this call filled the slot. The serving loop's panic-recovery
+    /// path uses this (it cannot know which slots a dying worker
+    /// already fulfilled).
+    pub(crate) fn fulfill_if_empty(&self, outcome: Result<Completed, ServeError>) -> bool {
+        let mut st = self.slot.state.lock().unwrap();
+        if st.is_some() {
+            return false;
+        }
+        *st = Some(outcome);
+        self.slot.ready.notify_all();
+        true
+    }
+}
 
 /// One pending HE operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,28 +239,82 @@ pub struct Dispatch {
     pub schedule: Schedule,
     /// Ticket → op node mapping, in submission order.
     pub tickets: Vec<(u64, NodeId)>,
+    /// Completion slot per ticket (same order as [`tickets`]; `None`
+    /// for untracked submissions). The executor fulfills these.
+    ///
+    /// [`tickets`]: Dispatch::tickets
+    pub completions: Vec<Option<Completion>>,
 }
 
-/// FIFO queue of HE operations awaiting batch formation.
-#[derive(Debug, Clone, Default)]
+/// FIFO queue of HE operations awaiting batch formation, optionally
+/// bounded, with per-ticket completion slots.
+#[derive(Debug, Clone)]
 pub struct RequestQueue {
     pending: VecDeque<HeRequest>,
+    completions: BTreeMap<u64, Completion>,
     next_ticket: u64,
+    capacity: usize,
+}
+
+impl Default for RequestQueue {
+    fn default() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            completions: BTreeMap::new(),
+            next_ticket: 0,
+            capacity: usize::MAX,
+        }
+    }
 }
 
 impl RequestQueue {
-    /// An empty queue.
+    /// An unbounded queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A queue holding at most `capacity` pending operations —
+    /// submissions beyond that are refused
+    /// ([`try_submit`](Self::try_submit) errors, [`submit`](Self::submit)
+    /// panics). The serving loop pairs this bound with a
+    /// [`Backpressure`] policy at its intake.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be ≥ 1");
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Maximum pending operations (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Enqueues one operation, returning its ticket.
     ///
     /// # Panics
     /// Panics on [`HeOpKind::Input`] (inputs are implied by the
-    /// request's operands, not submitted).
+    /// request's operands, not submitted), or when a
+    /// [`bounded`](Self::bounded) queue is at capacity — callers that
+    /// must handle a full queue use [`try_submit`](Self::try_submit).
     pub fn submit(&mut self, kind: HeOpKind, level: usize) -> u64 {
+        self.try_submit(kind, level)
+            .expect("queue at capacity (use try_submit to handle backpressure)")
+    }
+
+    /// Enqueues one operation unless the queue is at capacity.
+    ///
+    /// # Panics
+    /// Panics on [`HeOpKind::Input`], like [`submit`](Self::submit).
+    pub fn try_submit(&mut self, kind: HeOpKind, level: usize) -> Result<u64, QueueFull> {
         assert!(kind != HeOpKind::Input, "submit operations, not inputs");
+        if self.pending.len() >= self.capacity {
+            return Err(QueueFull);
+        }
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.pending.push_back(HeRequest {
@@ -68,7 +322,39 @@ impl RequestQueue {
             kind,
             level,
         });
-        ticket
+        Ok(ticket)
+    }
+
+    /// Enqueues one operation with a fresh completion slot: the
+    /// returned [`Completion`] resolves when the executor of the
+    /// drained [`Dispatch`] fulfills it.
+    ///
+    /// # Panics
+    /// Like [`submit`](Self::submit) (on `Input` or a full bounded
+    /// queue).
+    pub fn submit_tracked(&mut self, kind: HeOpKind, level: usize) -> (u64, Completion) {
+        let completion = Completion::new();
+        let ticket = self
+            .submit_with_completion(kind, level, completion.clone())
+            .expect("queue at capacity (use try_submit to handle backpressure)");
+        (ticket, completion)
+    }
+
+    /// Enqueues one operation attached to an existing completion slot
+    /// (the serving loop's path: the client created the slot before
+    /// the request crossed the channel).
+    ///
+    /// # Panics
+    /// Panics on [`HeOpKind::Input`].
+    pub fn submit_with_completion(
+        &mut self,
+        kind: HeOpKind,
+        level: usize,
+        completion: Completion,
+    ) -> Result<u64, QueueFull> {
+        let ticket = self.try_submit(kind, level)?;
+        self.completions.insert(ticket, completion);
+        Ok(ticket)
     }
 
     /// Pending operations.
@@ -81,9 +367,19 @@ impl RequestQueue {
         self.pending.is_empty()
     }
 
+    /// Detaches the completion slot registered for `ticket`, if any.
+    /// [`drain`](Self::drain) does this for every popped ticket;
+    /// direct [`form_graph`](Self::form_graph) callers that track
+    /// completions collect them with this.
+    pub fn take_completion(&mut self, ticket: u64) -> Option<Completion> {
+        self.completions.remove(&ticket)
+    }
+
     /// Pops up to `max_ops` requests and builds the op graph: each
     /// request gets fresh input node(s) at its level plus one batch-1
-    /// op node (the scheduler does the merging).
+    /// op node (the scheduler does the merging). Input nodes are
+    /// created per ticket in pop order, operand-major — the order an
+    /// executor's `inputs` slice must follow.
     pub fn form_graph(&mut self, max_ops: usize) -> (OpGraph, Vec<(u64, NodeId)>) {
         let mut graph = OpGraph::new();
         let mut tickets = Vec::new();
@@ -101,6 +397,8 @@ impl RequestQueue {
     }
 
     /// Drains up to `max_ops` pending operations and schedules them.
+    /// The [`Dispatch`] carries each popped ticket's completion slot
+    /// (detached from the queue) for the executor to fulfill.
     pub fn drain(
         &mut self,
         scheduler: &Scheduler,
@@ -108,11 +406,16 @@ impl RequestQueue {
         max_ops: usize,
     ) -> Dispatch {
         let (graph, tickets) = self.form_graph(max_ops);
+        let completions = tickets
+            .iter()
+            .map(|&(t, _)| self.take_completion(t))
+            .collect();
         let schedule = scheduler.schedule(&graph, params);
         Dispatch {
             graph,
             schedule,
             tickets,
+            completions,
         }
     }
 }
@@ -161,5 +464,78 @@ mod tests {
     fn input_submissions_rejected() {
         let mut q = RequestQueue::new();
         q.submit(HeOpKind::Input, 4);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_then_frees() {
+        let params = ParamSet::B.params();
+        let mut q = RequestQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.submit(HeOpKind::Add, params.limbs);
+        q.submit(HeOpKind::Add, params.limbs);
+        assert_eq!(
+            q.try_submit(HeOpKind::Add, params.limbs),
+            Err(QueueFull),
+            "at capacity"
+        );
+        let s = Scheduler::new(TpuGeneration::V6e, 4);
+        let _ = q.drain(&s, &params, 1);
+        // One slot freed by the drain.
+        assert!(q.try_submit(HeOpKind::Add, params.limbs).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "use try_submit")]
+    fn bounded_queue_submit_panics_at_capacity() {
+        let mut q = RequestQueue::bounded(1);
+        q.submit(HeOpKind::Add, 4);
+        q.submit(HeOpKind::Add, 4);
+    }
+
+    #[test]
+    fn completion_slots_travel_with_the_dispatch() {
+        let params = ParamSet::B.params();
+        let mut q = RequestQueue::new();
+        let (t, c) = q.submit_tracked(HeOpKind::Add, params.limbs);
+        q.submit(HeOpKind::Add, params.limbs);
+        assert!(c.try_wait().is_none());
+        let s = Scheduler::new(TpuGeneration::V6e, 4);
+        let d = q.drain(&s, &params, 8);
+        assert_eq!(d.tickets[0].0, t);
+        let slot = d.completions[0].as_ref().expect("tracked");
+        assert!(d.completions[1].is_none(), "untracked");
+        let done = Completed {
+            id: 42,
+            batch: BatchStats {
+                ops: 2,
+                wall_s: 1e-3,
+                per_op_s: 5e-4,
+            },
+        };
+        slot.fulfill(Ok(done));
+        assert_eq!(c.wait().unwrap().id, 42);
+        assert_eq!(c.try_wait().unwrap().unwrap().batch.ops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fulfilled twice")]
+    fn double_fulfillment_is_a_bug() {
+        let c = Completion::new();
+        c.fulfill(Err(ServeError::ScaleMismatch));
+        c.fulfill(Err(ServeError::ScaleMismatch));
+    }
+
+    #[test]
+    fn completion_wait_unblocks_across_threads() {
+        let c = Completion::new();
+        let executor = c.clone();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| c.wait());
+            executor.fulfill(Err(ServeError::MissingKey("Rotate")));
+            assert_eq!(
+                waiter.join().unwrap(),
+                Err(ServeError::MissingKey("Rotate"))
+            );
+        });
     }
 }

@@ -22,6 +22,28 @@
 //! deterministic arithmetic over deterministic cost probes, so the
 //! same graph always yields the same schedule
 //! (`tests/sched_model.rs`).
+//!
+//! # Examples
+//!
+//! Sixteen same-step rotations fuse into one batch that beats naive
+//! per-op dispatch on the same pod:
+//!
+//! ```
+//! use cross_ckks::params::ParamSet;
+//! use cross_sched::{HeOpKind, OpGraph, Scheduler};
+//! use cross_tpu::TpuGeneration;
+//!
+//! let params = ParamSet::C.params();
+//! let mut graph = OpGraph::new();
+//! for _ in 0..16 {
+//!     let x = graph.input(params.limbs);
+//!     graph.add_op(HeOpKind::Rotate { steps: 1 }, params.limbs, 1, &[x]);
+//! }
+//! let scheduler = Scheduler::new(TpuGeneration::V6e, 8);
+//! let schedule = scheduler.schedule(&graph, &params);
+//! assert_eq!(schedule.batches.len(), 1); // one fused group
+//! assert!(schedule.wall_s() < scheduler.naive_wall_s(&graph, &params));
+//! ```
 
 use crate::cost::node_bundles;
 use crate::ir::{HeOp, HeOpKind, NodeId, OpGraph};

@@ -1,0 +1,767 @@
+//! A registry-free multi-threaded serving loop over the scheduler —
+//! the CROSS stack's request/response pipeline.
+//!
+//! [`run`] owns a [`RequestQueue`] behind a bounded
+//! [`crate::channel`] and executes it with scoped threads
+//! (no `tokio` exists in the offline image — DESIGN.md §5 and §8):
+//!
+//! * **clients** (any threads inside the closure passed to [`run`])
+//!   insert ciphertexts into a shared store and
+//!   [`submit`](Client::submit) operations over store ids, getting a
+//!   [`Completion`] handle per ticket;
+//! * a **dispatcher** thread pops submission bursts off the channel
+//!   ([`crate::channel::Receiver::recv_batch`] — whatever queued while
+//!   the previous batch was in flight), validates them, forms batches
+//!   with the existing [`Scheduler`] through
+//!   [`RequestQueue::drain`], and hands each
+//!   [`Dispatch`](crate::queue::Dispatch) to the workers;
+//! * **worker** threads execute dispatches through
+//!   [`crate::exec::execute_schedule`] against the batched evaluator
+//!   (whose kernels fan out over `cross_math::par`), store each result
+//!   ciphertext, and fulfill the ticket's [`Completion`] with the
+//!   result id plus the modeled cost of the fused batch it rode in.
+//!
+//! Backpressure is explicit: the intake channel holds at most
+//! [`ServeConfig::capacity`] pending submissions, and
+//! [`ServeConfig::policy`] picks between blocking the producer
+//! ([`Backpressure::Block`]) and handing the request back
+//! ([`Backpressure::Reject`], surfaced as [`SubmitError::QueueFull`]).
+//!
+//! Functional results are **bit-exact** with eager
+//! [`Evaluator`] calls regardless of worker count or batch formation —
+//! that is the batched operators' equivalence contract, pinned
+//! end-to-end by `tests/serve_model.rs`.
+//!
+//! # Examples
+//!
+//! Serve a burst of rotations and squarings from one client:
+//!
+//! ```
+//! use cross_ckks::{CkksContext, CkksParams};
+//! use cross_sched::serve::{self, ServeConfig, ServeKeys};
+//! use cross_tpu::TpuGeneration;
+//!
+//! let ctx = CkksContext::new(CkksParams::toy(), 5);
+//! let kp = ctx.generate_keys();
+//! let keys = ServeKeys::new()
+//!     .with_relin(kp.relin.clone())
+//!     .with_rotation(1, ctx.generate_rotation_key(&kp.secret, 1));
+//! let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(2);
+//!
+//! let occupancy = serve::run(&ctx, &keys, &config, |client| {
+//!     let msg = vec![0.25; ctx.slot_count()];
+//!     let x = client.insert(ctx.encrypt(&msg, &kp.public));
+//!     let pending: Vec<_> = (0..4)
+//!         .map(|_| client.rotate(x, 1).expect("submit"))
+//!         .collect();
+//!     let mut ops = 0;
+//!     for completion in pending {
+//!         let done = completion.wait().expect("ticket completes");
+//!         ops += done.batch.ops; // batch occupancy the op rode in
+//!         let _ct = client.take(done.id).expect("result stored");
+//!     }
+//!     ops as f64 / 4.0
+//! });
+//! assert!(occupancy >= 1.0);
+//! ```
+
+use crate::channel::{self, Receiver, Sender, TrySendError};
+use crate::exec::{execute_schedule, ReplayKeys};
+use crate::ir::{HeOpKind, NodeId, OpGraph};
+use crate::queue::{
+    Backpressure, BatchStats, Completed, Completion, CtId, RequestQueue, ServeError,
+};
+use crate::sched::{Schedule, Scheduler};
+use cross_ckks::costs::ExecMode;
+use cross_ckks::{Ciphertext, CkksContext, Evaluator, SwitchingKey};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The switching keys a server holds (owned — shared by reference
+/// across the worker threads). The loop validates every request
+/// against this set before queueing, so workers never panic on a
+/// missing key: the ticket fails with [`ServeError::MissingKey`]
+/// instead.
+#[derive(Debug, Clone, Default)]
+pub struct ServeKeys {
+    relin: Option<SwitchingKey>,
+    rotation: BTreeMap<usize, SwitchingKey>,
+}
+
+impl ServeKeys {
+    /// No keys (enough to serve `Add`/`Rescale`/`ModDrop`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the relinearization key (enables `Mult`).
+    pub fn with_relin(mut self, key: SwitchingKey) -> Self {
+        self.relin = Some(key);
+        self
+    }
+
+    /// Adds the rotation key for `steps` (enables `Rotate { steps }`).
+    pub fn with_rotation(mut self, steps: usize, key: SwitchingKey) -> Self {
+        self.rotation.insert(steps, key);
+        self
+    }
+
+    fn replay(&self) -> ReplayKeys<'_> {
+        let mut keys = ReplayKeys::new();
+        if let Some(k) = &self.relin {
+            keys = keys.with_relin(k);
+        }
+        for (&steps, k) in &self.rotation {
+            keys = keys.with_rotation(steps, k);
+        }
+        keys
+    }
+
+    fn check(&self, kind: HeOpKind) -> Result<(), ServeError> {
+        match kind {
+            HeOpKind::Mult if self.relin.is_none() => Err(ServeError::MissingKey(kind.label())),
+            HeOpKind::Rotate { steps } if !self.rotation.contains_key(&steps) => {
+                Err(ServeError::MissingKey(kind.label()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Serving-loop configuration: the pod the scheduler batches for plus
+/// the loop's thread/queue shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// TPU generation of the modeled target pod.
+    pub gen: cross_tpu::TpuGeneration,
+    /// Tensor cores in the modeled pod.
+    pub cores: u32,
+    /// Worker threads executing dispatches (≥ 1).
+    pub workers: usize,
+    /// Most requests the dispatcher folds into one dispatch (the
+    /// `max_ops` it drains per cycle).
+    pub drain_max: usize,
+    /// Most submissions queued at the intake before backpressure.
+    pub capacity: usize,
+    /// What happens at capacity: block the producer or reject.
+    pub policy: Backpressure,
+    /// Scheduler fusion cap per batch group.
+    pub max_fuse: usize,
+    /// NTT lowering mode the scheduler costs fused kernels with.
+    pub mode: ExecMode,
+    /// Micro-batching window: once a dispatch has its first request,
+    /// the dispatcher keeps gathering until [`drain_max`] requests are
+    /// queued or this window expires. `ZERO` (the default) dispatches
+    /// whatever is queued immediately — latency-optimal; a window of a
+    /// kernel-latency or two trades that latency for batch occupancy
+    /// (throughput). Bounded, so partial batches always dispatch.
+    ///
+    /// [`drain_max`]: ServeConfig::drain_max
+    pub batch_window: std::time::Duration,
+}
+
+impl ServeConfig {
+    /// Defaults for a pod of `cores` tensor cores of `gen`: workers =
+    /// `min(4, available_parallelism)`, drain cap 16, intake capacity
+    /// 64, blocking backpressure, fusion cap 16, fused-batch lowering.
+    pub fn new(gen: cross_tpu::TpuGeneration, cores: u32) -> Self {
+        Self {
+            gen,
+            cores,
+            workers: cross_math::par::parallelism().min(4),
+            drain_max: 16,
+            capacity: 64,
+            policy: Backpressure::Block,
+            max_fuse: 16,
+            mode: ExecMode::FusedBatch,
+            batch_window: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Same configuration with an explicit worker count.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Same configuration with an explicit per-dispatch drain cap.
+    ///
+    /// # Panics
+    /// Panics if `drain_max == 0`.
+    pub fn with_drain_max(mut self, drain_max: usize) -> Self {
+        assert!(drain_max >= 1, "drain cap must be ≥ 1");
+        self.drain_max = drain_max;
+        self
+    }
+
+    /// Same configuration with an explicit intake capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "intake capacity must be ≥ 1");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Same configuration with an explicit backpressure policy.
+    pub fn with_policy(mut self, policy: Backpressure) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same configuration with an explicit scheduler fusion cap.
+    ///
+    /// # Panics
+    /// Panics if `max_fuse == 0`.
+    pub fn with_max_fuse(mut self, max_fuse: usize) -> Self {
+        assert!(max_fuse >= 1, "fusion cap must be ≥ 1");
+        self.max_fuse = max_fuse;
+        self
+    }
+
+    /// Same configuration with an explicit micro-batching window (see
+    /// [`batch_window`](ServeConfig::batch_window)).
+    pub fn with_batch_window(mut self, window: std::time::Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    fn scheduler(&self) -> Scheduler {
+        Scheduler::new(self.gen, self.cores)
+            .with_mode(self.mode)
+            .with_max_fuse(self.max_fuse)
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The intake is at capacity under [`Backpressure::Reject`] —
+    /// retry, shed, or switch the config to [`Backpressure::Block`].
+    QueueFull,
+    /// The serving loop is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("serving intake at capacity"),
+            SubmitError::Closed => f.write_str("serving loop closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate serving counters, readable any time via
+/// [`Client::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Dispatches handed to the worker pool.
+    pub dispatches: u64,
+    /// Fused batches formed across all dispatches.
+    pub batches: u64,
+    /// Ciphertext operations scheduled.
+    pub ops: u64,
+    /// Ops that rode in a batch of more than one (shared kernel).
+    pub fused_ops: u64,
+    /// Tickets refused at validation (bad operand/key/level).
+    pub failed: u64,
+    /// Σ modeled wall seconds of every formed schedule.
+    pub modeled_wall_s: f64,
+}
+
+impl ServeStats {
+    /// Mean ops per fused batch — the batch-occupancy figure the
+    /// throughput story rests on (1.0 = nothing ever fused).
+    pub fn occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct CtStore {
+    next: AtomicU64,
+    map: Mutex<BTreeMap<CtId, Ciphertext>>,
+}
+
+impl CtStore {
+    fn insert(&self, ct: Ciphertext) -> CtId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(id, ct);
+        id
+    }
+
+    fn get(&self, id: CtId) -> Option<Ciphertext> {
+        self.map.lock().unwrap().get(&id).cloned()
+    }
+
+    fn take(&self, id: CtId) -> Option<Ciphertext> {
+        self.map.lock().unwrap().remove(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// One submission crossing the intake channel.
+struct Submission {
+    kind: HeOpKind,
+    operands: Vec<CtId>,
+    completion: Completion,
+}
+
+/// One scheduled dispatch crossing the work channel.
+struct WorkItem {
+    graph: OpGraph,
+    schedule: Schedule,
+    inputs: Vec<Ciphertext>,
+    jobs: Vec<Job>,
+}
+
+/// One ticket inside a work item.
+struct Job {
+    node: NodeId,
+    completion: Completion,
+    stats: BatchStats,
+}
+
+/// Client handle inside [`run`]'s closure: shareable across client
+/// threads (`&Client` is `Send + Sync`).
+pub struct Client {
+    tx: Sender<Submission>,
+    store: Arc<CtStore>,
+    stats: Arc<Mutex<ServeStats>>,
+    policy: Backpressure,
+}
+
+impl Client {
+    /// Stores an input ciphertext, returning the id operations can
+    /// reference. Inputs stay in the store until [`take`](Self::take)n.
+    pub fn insert(&self, ct: Ciphertext) -> CtId {
+        self.store.insert(ct)
+    }
+
+    /// Clones a stored ciphertext (input or completed result) out of
+    /// the store.
+    pub fn fetch(&self, id: CtId) -> Option<Ciphertext> {
+        self.store.get(id)
+    }
+
+    /// Removes a stored ciphertext — the response side of the
+    /// pipeline (and how a client bounds store growth).
+    pub fn take(&self, id: CtId) -> Option<Ciphertext> {
+        self.store.take(id)
+    }
+
+    /// Ciphertexts currently stored (inputs plus unclaimed results).
+    pub fn stored(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Submits one operation over stored ciphertext ids. Under
+    /// [`Backpressure::Block`] this waits for intake room; under
+    /// [`Backpressure::Reject`] a full intake returns
+    /// [`SubmitError::QueueFull`]. The ticket resolves through the
+    /// returned [`Completion`] — operands are validated loop-side, so
+    /// a bad request fails its own ticket instead of the server.
+    ///
+    /// To consume a result in a follow-up op, [`wait`] on its
+    /// completion first: ids are resolved when the request is
+    /// dispatched, and an id the store has not seen yet fails with
+    /// [`ServeError::UnresolvedOperand`].
+    ///
+    /// [`wait`]: Completion::wait
+    ///
+    /// # Panics
+    /// Panics on kinds the executor cannot replay (`Input`,
+    /// `PlainMult`, `KeySwitch`, `Bootstrap` are cost-model-only) and
+    /// on an operand count that does not match the kind's arity.
+    pub fn submit(&self, kind: HeOpKind, operands: &[CtId]) -> Result<Completion, SubmitError> {
+        assert!(
+            kind.replayable() && kind != HeOpKind::Input,
+            "{} is cost-only and cannot be served",
+            kind.label()
+        );
+        assert_eq!(
+            operands.len(),
+            kind.arity(),
+            "{} expects {} operand(s)",
+            kind.label(),
+            kind.arity()
+        );
+        let completion = Completion::new();
+        let submission = Submission {
+            kind,
+            operands: operands.to_vec(),
+            completion: completion.clone(),
+        };
+        match self.policy {
+            Backpressure::Block => self.tx.send(submission).map_err(|_| SubmitError::Closed)?,
+            Backpressure::Reject => self.tx.try_send(submission).map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::QueueFull,
+                TrySendError::Closed(_) => SubmitError::Closed,
+            })?,
+        }
+        Ok(completion)
+    }
+
+    /// HE-Add of two stored ciphertexts.
+    pub fn add(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Add, &[a, b])
+    }
+
+    /// HE-Mult (tensor + relinearize + rescale) of two stored
+    /// ciphertexts.
+    pub fn mult(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Mult, &[a, b])
+    }
+
+    /// HE-Rotate a stored ciphertext by `steps` slots.
+    pub fn rotate(&self, a: CtId, steps: usize) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Rotate { steps }, &[a])
+    }
+
+    /// Rescale a stored ciphertext (drops one limb).
+    pub fn rescale(&self, a: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Rescale, &[a])
+    }
+
+    /// Modulus-drop a stored ciphertext straight to `to_level`.
+    pub fn mod_drop(&self, a: CtId, to_level: usize) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::ModDrop { to_level }, &[a])
+    }
+
+    /// Snapshot of the aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+/// Everything one dispatcher cycle needs, bundled to keep the thread
+/// closure readable.
+struct Dispatcher<'a> {
+    rx: Receiver<Submission>,
+    work_tx: Sender<WorkItem>,
+    scheduler: Scheduler,
+    params: cross_ckks::CkksParams,
+    keys: &'a ServeKeys,
+    store: Arc<CtStore>,
+    stats: Arc<Mutex<ServeStats>>,
+    drain_max: usize,
+    batch_window: std::time::Duration,
+}
+
+impl Dispatcher<'_> {
+    /// Validates one submission and resolves its operands: execution
+    /// level is the operands' aligned (minimum) level, exactly what
+    /// the eager evaluator would use.
+    fn admit(&self, sub: &Submission) -> Result<(usize, Vec<Ciphertext>), ServeError> {
+        self.keys.check(sub.kind)?;
+        let mut cts = Vec::with_capacity(sub.operands.len());
+        for &id in &sub.operands {
+            cts.push(
+                self.store
+                    .get(id)
+                    .ok_or(ServeError::UnresolvedOperand(id))?,
+            );
+        }
+        let level = cts.iter().map(|c| c.level).min().expect("arity ≥ 1");
+        match sub.kind {
+            HeOpKind::Mult | HeOpKind::Rescale if level < 2 => {
+                return Err(ServeError::InvalidLevel(sub.kind.label()))
+            }
+            HeOpKind::ModDrop { to_level } if !(1..=level).contains(&to_level) => {
+                return Err(ServeError::InvalidLevel(sub.kind.label()))
+            }
+            // The evaluator's own Add tolerance: sub-percent scale
+            // drift is fine, more corrupts the message.
+            HeOpKind::Add if (cts[0].scale / cts[1].scale - 1.0).abs() >= 1e-2 => {
+                return Err(ServeError::ScaleMismatch)
+            }
+            _ => {}
+        }
+        Ok((level, cts))
+    }
+
+    fn run(self) {
+        let mut queue = RequestQueue::bounded(self.drain_max);
+        loop {
+            let submissions = self.rx.recv_batch_window(self.drain_max, self.batch_window);
+            if submissions.is_empty() {
+                break; // intake closed and drained — shut down
+            }
+            let mut operand_cts: BTreeMap<u64, Vec<Ciphertext>> = BTreeMap::new();
+            let mut failed = 0u64;
+            for sub in submissions {
+                match self.admit(&sub) {
+                    Err(e) => {
+                        failed += 1;
+                        sub.completion.fulfill(Err(e));
+                    }
+                    Ok((level, cts)) => {
+                        let ticket = queue
+                            .submit_with_completion(sub.kind, level, sub.completion)
+                            .expect("dispatcher never over-fills its own queue");
+                        operand_cts.insert(ticket, cts);
+                    }
+                }
+            }
+            if queue.is_empty() {
+                let mut s = self.stats.lock().unwrap();
+                s.failed += failed;
+                continue;
+            }
+            let dispatch = queue.drain(&self.scheduler, &self.params, self.drain_max);
+
+            // Per-node batch stats from the formed schedule.
+            let mut stat_of: BTreeMap<NodeId, BatchStats> = BTreeMap::new();
+            for batch in &dispatch.schedule.batches {
+                let stats = BatchStats {
+                    ops: batch.ops,
+                    wall_s: batch.wall_s,
+                    per_op_s: batch.per_op_s,
+                };
+                for &node in &batch.nodes {
+                    stat_of.insert(node, stats);
+                }
+            }
+
+            // Inputs in graph input order: form_graph creates input
+            // nodes per ticket in pop order, operand-major.
+            let mut inputs = Vec::new();
+            let mut jobs = Vec::with_capacity(dispatch.tickets.len());
+            for (i, &(ticket, node)) in dispatch.tickets.iter().enumerate() {
+                inputs.extend(operand_cts.remove(&ticket).expect("admitted above"));
+                jobs.push(Job {
+                    node,
+                    completion: dispatch.completions[i]
+                        .clone()
+                        .expect("serving submissions carry completions"),
+                    stats: stat_of[&node],
+                });
+            }
+
+            {
+                let mut s = self.stats.lock().unwrap();
+                s.dispatches += 1;
+                s.batches += dispatch.schedule.batches.len() as u64;
+                s.ops += dispatch.schedule.op_count() as u64;
+                s.fused_ops += dispatch
+                    .schedule
+                    .batches
+                    .iter()
+                    .filter(|b| b.ops > 1)
+                    .map(|b| b.ops as u64)
+                    .sum::<u64>();
+                s.failed += failed;
+                s.modeled_wall_s += dispatch.schedule.wall_s();
+            }
+
+            let item = WorkItem {
+                graph: dispatch.graph,
+                schedule: dispatch.schedule,
+                inputs,
+                jobs,
+            };
+            if let Err(channel::SendError(item)) = self.work_tx.send(item) {
+                // Every worker died (panicked). Unblock this
+                // dispatch's waiters before shutting down — the panic
+                // itself still propagates when the scope joins.
+                for job in &item.jobs {
+                    job.completion
+                        .fulfill_if_empty(Err(ServeError::ExecutionFailed));
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn worker(rx: Receiver<WorkItem>, ctx: &CkksContext, keys: &ServeKeys, store: &CtStore) {
+    let ev = Evaluator::new(ctx);
+    let replay_keys = keys.replay();
+    while let Some(item) = rx.recv() {
+        // A panic mid-dispatch (a latent evaluator bug — validation
+        // catches everything known) must not strand waiters: fail the
+        // item's unfulfilled tickets, then let the panic propagate out
+        // of the scope. Without this, clients block in `wait()`
+        // forever and the thread scope can never join.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut results =
+                execute_schedule(&item.graph, &item.schedule, &ev, &replay_keys, &item.inputs);
+            for job in &item.jobs {
+                // Move (not clone) the result out of the slot — the
+                // worker owns the results vector and each node has one
+                // ticket.
+                let ct = results[job.node]
+                    .take()
+                    .expect("admitted ops are replayable");
+                let id = store.insert(ct);
+                job.completion.fulfill(Ok(Completed {
+                    id,
+                    batch: job.stats,
+                }));
+            }
+        }));
+        if let Err(panic) = outcome {
+            for job in &item.jobs {
+                job.completion
+                    .fulfill_if_empty(Err(ServeError::ExecutionFailed));
+            }
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Runs a serving loop for the closure's lifetime: spawns the
+/// dispatcher and [`ServeConfig::workers`] workers on scoped threads,
+/// calls `f` with the [`Client`], and after `f` returns drains every
+/// pending submission before joining — every accepted ticket is
+/// fulfilled by the time `run` returns.
+///
+/// The client handle is `Sync`: fan out N client threads inside `f`
+/// with [`std::thread::scope`] and share `&Client` across them.
+/// Results are bit-exact with eager [`Evaluator`] calls for any
+/// worker count; execution order (and therefore result-id
+/// interleaving) is deterministic with a single worker and a single
+/// client thread.
+pub fn run<R>(
+    ctx: &CkksContext,
+    keys: &ServeKeys,
+    config: &ServeConfig,
+    f: impl FnOnce(&Client) -> R,
+) -> R {
+    assert!(config.workers >= 1, "need at least one worker");
+    let (tx, rx) = channel::bounded(config.capacity);
+    // A shallow work queue: enough for every worker to stay busy while
+    // the dispatcher forms the next batch, small enough that
+    // backpressure reaches the intake instead of piling up here.
+    let (work_tx, work_rx) = channel::bounded(config.workers.max(1) * 2);
+    let store = Arc::new(CtStore::default());
+    let stats = Arc::new(Mutex::new(ServeStats::default()));
+    let dispatcher = Dispatcher {
+        rx,
+        work_tx,
+        scheduler: config.scheduler(),
+        params: *ctx.params(),
+        keys,
+        store: store.clone(),
+        stats: stats.clone(),
+        drain_max: config.drain_max,
+        batch_window: config.batch_window,
+    };
+    std::thread::scope(|s| {
+        s.spawn(move || dispatcher.run());
+        for _ in 0..config.workers {
+            let rx = work_rx.clone();
+            let store = store.clone();
+            s.spawn(move || worker(rx, ctx, keys, &store));
+        }
+        drop(work_rx); // workers hold the only receive clones now
+        let client = Client {
+            tx,
+            store,
+            stats,
+            policy: config.policy,
+        };
+        let result = f(&client);
+        // Dropping the client closes the intake: the dispatcher drains
+        // what is queued, drops the work channel, the workers finish
+        // and fulfill every remaining ticket, and the scope joins.
+        drop(client);
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_ckks::CkksParams;
+    use cross_tpu::TpuGeneration;
+
+    fn toy_ctx() -> (CkksContext, cross_ckks::KeyPair) {
+        let ctx = CkksContext::new(CkksParams::toy(), 41);
+        let kp = ctx.generate_keys();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn serves_adds_without_keys() {
+        let (ctx, kp) = toy_ctx();
+        let keys = ServeKeys::new();
+        let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(1);
+        let msg = vec![0.125; ctx.slot_count()];
+        serve_assertions(&ctx, &kp, &keys, &config, &msg);
+    }
+
+    fn serve_assertions(
+        ctx: &CkksContext,
+        kp: &cross_ckks::KeyPair,
+        keys: &ServeKeys,
+        config: &ServeConfig,
+        msg: &[f64],
+    ) {
+        let ct = ctx.encrypt(msg, &kp.public);
+        let ev = Evaluator::new(ctx);
+        let want = ev.add(&ct, &ct);
+        let got = run(ctx, keys, config, |client| {
+            let x = client.insert(ct.clone());
+            let done = client.add(x, x).unwrap().wait().unwrap();
+            assert_eq!(done.batch.ops, 1);
+            client.take(done.id).unwrap()
+        });
+        assert_eq!(got.c0.limbs(), want.c0.limbs());
+        assert_eq!(got.c1.limbs(), want.c1.limbs());
+    }
+
+    #[test]
+    fn validation_errors_fail_the_ticket_not_the_server() {
+        let (ctx, kp) = toy_ctx();
+        let keys = ServeKeys::new(); // no rotation or relin keys
+        let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(1);
+        let msg = vec![0.25; ctx.slot_count()];
+        let ct = ctx.encrypt(&msg, &kp.public);
+        run(&ctx, &keys, &config, |client| {
+            let x = client.insert(ct.clone());
+            // Unknown operand id.
+            let bad = client.add(x, 999).unwrap().wait();
+            assert_eq!(bad, Err(ServeError::UnresolvedOperand(999)));
+            // Missing keys.
+            let rot = client.rotate(x, 1).unwrap().wait();
+            assert_eq!(rot, Err(ServeError::MissingKey("Rotate")));
+            let mult = client.mult(x, x).unwrap().wait();
+            assert_eq!(mult, Err(ServeError::MissingKey("HE-Mult")));
+            // Level too low for a rescale after dropping to level 1.
+            let low = client.mod_drop(x, 1).unwrap().wait().unwrap();
+            let rs = client.rescale(low.id).unwrap().wait();
+            assert_eq!(rs, Err(ServeError::InvalidLevel("Rescale")));
+            // The loop is still healthy after all those failures.
+            assert!(client.add(x, x).unwrap().wait().is_ok());
+            assert_eq!(client.stats().failed, 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cost-only")]
+    fn cost_only_kinds_cannot_be_served() {
+        let (ctx, _) = toy_ctx();
+        let keys = ServeKeys::new();
+        let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(1);
+        run(&ctx, &keys, &config, |client| {
+            let _ = client.submit(HeOpKind::Bootstrap, &[0]);
+        });
+    }
+}

@@ -104,6 +104,48 @@
 //! // Fused batches beat dispatching each op alone.
 //! assert!(dispatch.schedule.wall_s() < scheduler.naive_wall_s(&dispatch.graph, &params));
 //! ```
+//!
+//! ## Serving
+//!
+//! [`sched::serve::run`] wraps the queue and scheduler in a
+//! registry-free multi-threaded serving loop — a dispatcher thread
+//! forms batches, scoped workers execute them through the batched
+//! evaluator, and every submission resolves to a
+//! [`sched::Completion`] carrying the result ciphertext id plus the
+//! modeled pod cost of the fused batch it rode in (this is the
+//! README's serving doctest):
+//!
+//! ```
+//! use cross::ckks::{CkksContext, CkksParams};
+//! use cross::sched::serve::{self, ServeConfig, ServeKeys};
+//! use cross::tpu::TpuGeneration;
+//!
+//! let ctx = CkksContext::new(CkksParams::toy(), 9);
+//! let kp = ctx.generate_keys();
+//! let keys = ServeKeys::new()
+//!     .with_relin(kp.relin.clone())
+//!     .with_rotation(1, ctx.generate_rotation_key(&kp.secret, 1));
+//! let config = ServeConfig::new(TpuGeneration::V6e, 8).with_workers(2);
+//!
+//! serve::run(&ctx, &keys, &config, |client| {
+//!     let msg = vec![0.2; ctx.slot_count()];
+//!     let x = client.insert(ctx.encrypt(&msg, &kp.public));
+//!     // A burst of mults and rotates; completions resolve per ticket.
+//!     let pending: Vec<_> = (0..6)
+//!         .map(|i| if i % 2 == 0 { client.mult(x, x) } else { client.rotate(x, 1) })
+//!         .map(|c| c.expect("accepted"))
+//!         .collect();
+//!     for completion in pending {
+//!         let done = completion.wait().expect("every ticket completes");
+//!         println!(
+//!             "result ct {} rode a batch of {} ops ({:.1} us/op modeled)",
+//!             done.id, done.batch.ops, done.batch.per_op_s * 1e6,
+//!         );
+//!         let _response = client.take(done.id).expect("result stored");
+//!     }
+//!     assert!(client.stats().occupancy() >= 1.0);
+//! });
+//! ```
 
 pub use cross_baselines as baselines;
 pub use cross_ckks as ckks;
