@@ -1,0 +1,62 @@
+//! Modeled optimizer wins on the §V-D workload graphs, under baseline
+//! tracking.
+//!
+//! Every `opt_model/*` entry is a *deterministic cost-model* number
+//! (milliseconds of [`cross_sched::cost_graph`] critical path on
+//! v6e-8), never wall-clock — the prefix is gated in `bench_diff`, so
+//! any drift fails the diff, and the paired
+//! `optimized_cost`/`unoptimized_cost` keys pin that the standard
+//! pass pipeline keeps beating the raw recorded graph on HELR and
+//! MNIST.
+
+use criterion::{criterion_group, criterion_main, results, Criterion};
+use cross_bench::workloads::{helr_iteration, helr_params, mnist_network, mnist_params};
+use cross_ckks::costs::ExecMode;
+use cross_ckks::params::CkksParams;
+use cross_sched::{cost_graph, OpGraph, PassManager};
+use cross_tpu::{PodSim, TpuGeneration};
+
+fn record_workload(name: &str, params: &CkksParams, graph: &OpGraph) {
+    let pm = PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch);
+    let rw = pm.run(graph, params);
+    let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+    let before = cost_graph(&mut pod, params, graph, ExecMode::FusedBatch);
+    let after = cost_graph(&mut pod, params, &rw.graph, ExecMode::FusedBatch);
+    results::record(
+        &format!("opt_model/unoptimized_cost/{name}"),
+        before.critical_ms(),
+    );
+    results::record(
+        &format!("opt_model/optimized_cost/{name}"),
+        after.critical_ms(),
+    );
+    println!(
+        "  opt_model/{name}: {} -> {} HE ops, critical {:.2} -> {:.2} ms ({:.2}x), \
+         amortized {:.2} -> {:.2} ms",
+        graph.op_count(),
+        rw.graph.op_count(),
+        before.critical_ms(),
+        after.critical_ms(),
+        before.critical_s / after.critical_s,
+        before.amortized_ms(),
+        after.amortized_ms(),
+    );
+    assert!(
+        after.critical_s < before.critical_s,
+        "{name}: the optimizer must show a modeled win on its flagship workloads"
+    );
+    assert!(
+        after.amortized_s <= before.amortized_s,
+        "{name}: passes must never increase the amortized cost"
+    );
+}
+
+fn opt_model(_c: &mut Criterion) {
+    let helr = helr_params();
+    record_workload("helr", &helr, &helr_iteration(helr.limbs));
+    let mnist = mnist_params();
+    record_workload("mnist", &mnist, &mnist_network(mnist.limbs));
+}
+
+criterion_group!(benches, opt_model);
+criterion_main!(benches);

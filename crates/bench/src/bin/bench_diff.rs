@@ -6,9 +6,10 @@
 //!
 //! * **Failing** — a small pinned allowlist of keys
 //!   ([`GATED_PREFIXES`]) exits nonzero when a key regresses by more
-//!   than [`FAIL_RATIO`]. The `pod_table8`/`pod_table9`/`sched_model`
-//!   entries are pure cost-model output — deterministic, so any
-//!   regression is a real model change. The `batched_ntt` entries are
+//!   than [`FAIL_RATIO`]. The
+//!   `pod_table8`/`pod_table9`/`sched_model`/`opt_model` entries are
+//!   pure cost-model output — deterministic, so any regression is a
+//!   real model change. The `batched_ntt` entries are
 //!   wall-clock: gated because they guard the headline fusion claim,
 //!   at the acknowledged cost that a much slower runner than the
 //!   baseline machine can trip them — refresh `BENCH_baseline.json`
@@ -19,9 +20,11 @@
 //!   human to judge.
 //!
 //! It also re-checks the batching claim: every `batched_ntt/*_fused/*`
-//! entry must beat its `*_sequential/*` counterpart (failing), and
-//! every `sched_model/fused_per_op/*` entry must beat its
-//! `naive_per_op` counterpart (failing). The serving-loop claim —
+//! entry must beat its `*_sequential/*` counterpart (failing), every
+//! `sched_model/fused_per_op/*` entry must beat its `naive_per_op`
+//! counterpart (failing), and every `opt_model/optimized_cost/*`
+//! entry must beat its `unoptimized_cost` counterpart (failing —
+//! the optimizer-pass win on the workload graphs). The serving-loop claim —
 //! `serve_throughput/serve_multi/*` sustaining at least
 //! `single_drain/*`'s throughput — is checked **warn-only**: both
 //! sides are wall-clock, and on a single-core runner the loop can at
@@ -37,7 +40,13 @@ const WARN_RATIO: f64 = 1.5;
 const FAIL_RATIO: f64 = 1.25;
 
 /// Key prefixes held to the failing [`FAIL_RATIO`] gate.
-const GATED_PREFIXES: [&str; 4] = ["batched_ntt/", "pod_table8/", "pod_table9/", "sched_model/"];
+const GATED_PREFIXES: [&str; 5] = [
+    "batched_ntt/",
+    "pod_table8/",
+    "pod_table9/",
+    "sched_model/",
+    "opt_model/",
+];
 
 fn gated(label: &str) -> bool {
     GATED_PREFIXES.iter().any(|p| label.starts_with(p))
@@ -120,6 +129,7 @@ fn main() {
     let pairs = [
         ("_fused/", "_sequential/", true),
         ("/fused_per_op/", "/naive_per_op/", true),
+        ("/optimized_cost/", "/unoptimized_cost/", true),
         ("/serve_multi/", "/single_drain/", false),
     ];
     for (label, &ns) in &results {

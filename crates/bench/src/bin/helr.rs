@@ -2,8 +2,11 @@
 //! one gradient-descent step over a 1024-image batch of 14×14 MNIST.
 //!
 //! The iteration is *recorded* as a [`cross_sched::OpGraph`] (forward
-//! BSGS inner products → degree-3 sigmoid → gradient → update) and
-//! handed to the batch-forming [`cross_sched::Scheduler`]: rotations
+//! BSGS inner products → degree-3 sigmoid → gradient → update; see
+//! [`cross_bench::workloads::helr_iteration`]) and handed to the
+//! batch-forming [`cross_sched::Scheduler`] with the optimizer
+//! pipeline on: the per-ciphertext rotation fan-outs hoist onto shared
+//! digit decompositions ([`cross_sched::PassManager`]), then rotations
 //! with the same step across the 8 data ciphertexts merge into fused
 //! batches, and every group picks limb- vs batch-parallel sharding
 //! against the pod cost model. The same graph is interpreted by
@@ -17,56 +20,11 @@
 //! occupancy (DESIGN.md §8).
 
 use cross_baselines::devices::PAPER_HELR_MS_PER_ITER;
+use cross_bench::workloads::{helr_iteration, helr_params};
 use cross_bench::{banner, print_serve_smoke, serve_smoke};
-use cross_ckks::params::CkksParams;
-use cross_sched::{Recorder, Scheduler, Vct};
-use cross_tpu::TpuGeneration;
-
-/// Records one HELR iteration: 1024×196 features packed in 32768 slots
-/// → 8 data ciphertexts, hoisted 8-step BSGS reductions.
-fn record_iteration(level: usize) -> cross_sched::OpGraph {
-    let mut r = Recorder::new();
-    let xs: Vec<Vct> = (0..8).map(|_| r.input(level)).collect();
-
-    // forward: X·w inner products — per ct one masked copy plus 8
-    // hoisted rotations, each masked and accumulated.
-    let mut partials = Vec::new();
-    for &x in &xs {
-        let mut acc = r.plain_mult(x);
-        for step in 0..8 {
-            let rot = r.rotate(x, 1 << step);
-            let masked = r.plain_mult(rot);
-            acc = r.add(acc, masked);
-        }
-        partials.push(acc);
-    }
-    // combine the partial inner products.
-    let mut z = partials[0];
-    for &p in &partials[1..] {
-        z = r.add(z, p);
-    }
-    // sigmoid: degree-3 polynomial σ(z) ≈ c0 + c1·z + c3·z³ (the
-    // masked linear and cubic terms; c0 folds into the plaintext).
-    let sq = r.mult(z, z);
-    let cube = r.mult(sq, z);
-    let lin = r.plain_mult(z);
-    let c3 = r.plain_mult(cube);
-    let err = r.add(lin, c3);
-
-    // gradient: Xᵀ·err — one ct-ct mult per data ciphertext, then a
-    // rotate-and-add log reduction (same step across cts → fusable).
-    for &x in &xs {
-        let mut acc = r.mult(x, err);
-        for step in 0..8 {
-            let rot = r.rotate(acc, 1 << step);
-            acc = r.add(acc, rot);
-        }
-        // update: w ← w − η·grad (mask + axpy).
-        let g = r.plain_mult(acc);
-        let _w = r.add(g, g);
-    }
-    r.finish()
-}
+use cross_ckks::costs::ExecMode;
+use cross_sched::{cost_graph, PassManager, Scheduler};
+use cross_tpu::{PodSim, TpuGeneration};
 
 fn main() {
     if std::env::args().any(|a| a == "--serve") {
@@ -82,8 +40,8 @@ fn main() {
     }
     banner("Sec. V-D: HELR logistic regression, one iteration");
     // HELR-scale parameters mapped to 28-bit moduli (double rescaling).
-    let params = CkksParams::new(1 << 16, 30, 3, 28);
-    let graph = record_iteration(params.limbs);
+    let params = helr_params();
+    let graph = helr_iteration(params.limbs);
     let waves = graph.waves().iter().max().copied().unwrap_or(0);
     println!(
         "recorded graph: {} nodes, {} HE ops, {} dependency waves",
@@ -92,9 +50,34 @@ fn main() {
         waves
     );
 
+    // Optimizer pipeline: the 8-rotation fan-out per data ciphertext
+    // is exactly the hoisting pattern, so the shared decompositions
+    // shave modeled cost before the scheduler ever sees the graph.
+    let pm = PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch);
+    let optimized = pm.run(&graph, &params);
+    let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+    let before = cost_graph(&mut pod, &params, &graph, ExecMode::FusedBatch);
+    let after = cost_graph(&mut pod, &params, &optimized.graph, ExecMode::FusedBatch);
+    println!(
+        "optimizer ({}): {} -> {} HE ops; graph cost {:.1} -> {:.1} ms critical ({:.2}x), \
+         {:.1} -> {:.1} ms amortized",
+        pm.pass_names().join(" -> "),
+        graph.op_count(),
+        optimized.graph.op_count(),
+        before.critical_ms(),
+        after.critical_ms(),
+        before.critical_s / after.critical_s,
+        before.amortized_ms(),
+        after.amortized_ms(),
+    );
+    assert!(
+        after.critical_s <= before.critical_s && after.amortized_s <= before.amortized_s,
+        "passes must never increase modeled cost"
+    );
+
     for cores in [1u32, 8] {
-        let scheduler = Scheduler::new(TpuGeneration::V6e, cores);
-        let schedule = scheduler.schedule(&graph, &params);
+        let scheduler = Scheduler::new(TpuGeneration::V6e, cores).with_optimize(true);
+        let schedule = scheduler.schedule(&optimized.graph, &params);
         let naive_s = scheduler.naive_wall_s(&graph, &params);
         let fused_groups = schedule.batches.iter().filter(|b| b.ops > 1).count();
         let largest = schedule.batches.iter().map(|b| b.ops).max().unwrap_or(0);
@@ -105,7 +88,7 @@ fn main() {
             largest
         );
         println!(
-            "v6e-{cores}: one iteration {:.1} ms scheduled vs {:.1} ms naive per-op \
+            "v6e-{cores}: one iteration {:.1} ms optimized+scheduled vs {:.1} ms naive per-op \
              ({:.2}x, amortized {:.0} us/op; paper: {PAPER_HELR_MS_PER_ITER} ms)",
             schedule.wall_s() * 1e3,
             naive_s * 1e3,
@@ -113,9 +96,10 @@ fn main() {
             schedule.per_op_s() * 1e6,
         );
     }
-    println!("\nTakeaway: tens-of-ms encrypted training steps; batch formation");
-    println!("merges same-step rotations across the 8 data ciphertexts, so the");
-    println!("switching key and NTT twiddles load once per fused group instead of");
-    println!("once per op — the scheduler beats naive per-op dispatch on the same");
-    println!("pod, with ICI scatters and all-reduces still charged, never free.");
+    println!("\nTakeaway: tens-of-ms encrypted training steps; the optimizer hoists");
+    println!("each data ciphertext's rotation fan-out onto one shared decomposition,");
+    println!("then batch formation merges same-step rotations across the 8 data");
+    println!("ciphertexts, so keys and NTT twiddles load once per fused group — the");
+    println!("pipeline beats naive per-op dispatch on the same pod, with ICI");
+    println!("scatters and all-reduces still charged, never free.");
 }

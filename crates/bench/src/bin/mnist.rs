@@ -4,12 +4,13 @@
 //! → act → FC, batch 64 images, N = 2^13, L = 18, dnum = 3 — is
 //! *recorded* as a [`cross_sched::OpGraph`] (convs as
 //! rotation+diagonal im2col, FCs as BSGS matvecs, square activations
-//! as ct-ct mults) and run through the batch-forming
-//! [`cross_sched::Scheduler`]. Same-wave diagonal multiplies and
-//! same-step rotations across channel ciphertexts merge into fused
-//! batches; each group picks limb- vs batch-parallel sharding against
-//! the pod cost model. The old hand-written op-count loop is gone —
-//! the graph is the single source of the estimate.
+//! as ct-ct mults; see [`cross_bench::workloads::mnist_network`]), run
+//! through the optimizer pipeline (the conv tap rotations of each
+//! input ciphertext hoist onto shared digit decompositions) and then
+//! through the batch-forming [`cross_sched::Scheduler`]. Same-wave
+//! diagonal multiplies and same-step rotations across channel
+//! ciphertexts merge into fused batches; each group picks limb- vs
+//! batch-parallel sharding against the pod cost model.
 
 //! `--serve` runs the serving smoke instead of the estimate: N client
 //! threads drive an inference-shaped request mix through the
@@ -17,113 +18,11 @@
 //! (DESIGN.md §8).
 
 use cross_baselines::devices::PAPER_MNIST_MS_PER_IMAGE;
+use cross_bench::workloads::{mnist_network, mnist_params};
 use cross_bench::{banner, print_serve_smoke, serve_smoke};
 use cross_ckks::costs::ExecMode;
-use cross_ckks::params::CkksParams;
-use cross_sched::{OpGraph, Recorder, Scheduler, Vct};
-use cross_tpu::TpuGeneration;
-
-/// One conv layer as im2col: per input ciphertext `taps−1` distinct
-/// tap rotations (plus the identity), then per output channel a
-/// diagonal multiply of every tap and an accumulation chain.
-fn conv(
-    r: &mut Recorder,
-    inputs: &[Vct],
-    taps: usize,
-    out_ch: usize,
-    step_base: usize,
-) -> Vec<Vct> {
-    let mut rotated: Vec<Vct> = Vec::new();
-    for &x in inputs {
-        rotated.push(x);
-        for t in 1..taps {
-            rotated.push(r.rotate(x, step_base * t));
-        }
-    }
-    (0..out_ch)
-        .map(|_| {
-            let mut acc: Option<Vct> = None;
-            for &t in &rotated {
-                let m = r.plain_mult(t);
-                acc = Some(match acc {
-                    None => m,
-                    Some(a) => r.add(a, m),
-                });
-            }
-            acc.unwrap()
-        })
-        .collect()
-}
-
-/// Square activation per channel ciphertext (the documented ReLU
-/// substitution), after a rescale restoring the conv scale.
-fn square_act(r: &mut Recorder, xs: &[Vct]) -> Vec<Vct> {
-    xs.iter()
-        .map(|&x| {
-            let s = r.rescale(x);
-            r.mult(s, s)
-        })
-        .collect()
-}
-
-/// 2×2 average pool: one rotate-and-add plus the 1/4 scalar mask.
-fn avg_pool(r: &mut Recorder, xs: &[Vct], step: usize) -> Vec<Vct> {
-    xs.iter()
-        .map(|&x| {
-            let rot = r.rotate(x, step);
-            let sum = r.add(x, rot);
-            r.plain_mult(sum)
-        })
-        .collect()
-}
-
-/// Fully-connected layer as a BSGS matvec: `rots` distinct rotations,
-/// `diags` diagonal multiplies accumulated into one output.
-fn fc(r: &mut Recorder, x: Vct, rots: usize, diags: usize) -> Vct {
-    let mut rotated = vec![x];
-    for s in 1..=rots {
-        rotated.push(r.rotate(x, s));
-    }
-    let mut acc: Option<Vct> = None;
-    for d in 0..diags {
-        let m = r.plain_mult(rotated[d % rotated.len()]);
-        acc = Some(match acc {
-            None => m,
-            Some(a) => r.add(a, m),
-        });
-    }
-    r.rescale(acc.unwrap())
-}
-
-/// Records the whole WISE-style inference pass over one packed batch.
-fn record_network(level: usize) -> OpGraph {
-    let mut r = Recorder::new();
-    let x = r.input(level);
-    // conv1: 5x5 kernel, 3→4 channels (3 packed input channels fold
-    // into the tap loop: 75 taps ≈ 24×3 rotations + identity).
-    let c1 = conv(&mut r, &[x], 75, 4, 1);
-    let a1 = square_act(&mut r, &c1);
-    let p1 = avg_pool(&mut r, &a1, 2);
-    // conv2: 5x5, 4→8 channels — same tap steps across the 4 channel
-    // cts, so the scheduler can merge them.
-    let c2 = conv(&mut r, &p1, 25, 8, 1);
-    let a2 = square_act(&mut r, &c2);
-    let p2 = avg_pool(&mut r, &a2, 2);
-    // flatten: fold the 8 channel cts into one.
-    let mut flat = p2[0];
-    for &c in &p2[1..] {
-        flat = r.add(flat, c);
-    }
-    // FC1 (≈512 → 64): BSGS with 2·√512 ≈ 46 rotations, 64 diagonals.
-    let h = fc(&mut r, flat, 46, 64);
-    let h2 = {
-        let s = r.rescale(h);
-        r.mult(s, s)
-    };
-    // FC2 (64 → 10).
-    let _logits = fc(&mut r, h2, 16, 10);
-    r.finish()
-}
+use cross_sched::{cost_graph, PassManager, Scheduler};
+use cross_tpu::{PodSim, TpuGeneration};
 
 fn main() {
     if std::env::args().any(|a| a == "--serve") {
@@ -135,14 +34,38 @@ fn main() {
         return;
     }
     banner("Sec. V-D: encrypted MNIST CNN inference (batch 64, v6e-8)");
-    let params = CkksParams::new(1 << 13, 18, 3, 28);
-    let graph = record_network(params.limbs);
+    let params = mnist_params();
+    let graph = mnist_network(params.limbs);
     let waves = graph.waves().iter().max().copied().unwrap_or(0);
     println!(
         "recorded graph: {} nodes, {} HE ops, {} dependency waves",
         graph.len(),
         graph.op_count(),
         waves
+    );
+
+    // Optimizer pipeline: conv1 rotates one input 74 times and conv2
+    // each channel 24 times — prime hoisting fodder.
+    let pm = PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch);
+    let optimized = pm.run(&graph, &params);
+    let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+    let before = cost_graph(&mut pod, &params, &graph, ExecMode::FusedBatch);
+    let after = cost_graph(&mut pod, &params, &optimized.graph, ExecMode::FusedBatch);
+    println!(
+        "optimizer ({}): {} -> {} HE ops; graph cost {:.1} -> {:.1} ms critical ({:.2}x), \
+         {:.1} -> {:.1} ms amortized",
+        pm.pass_names().join(" -> "),
+        graph.op_count(),
+        optimized.graph.op_count(),
+        before.critical_ms(),
+        after.critical_ms(),
+        before.critical_s / after.critical_s,
+        before.amortized_ms(),
+        after.amortized_ms(),
+    );
+    assert!(
+        after.critical_s <= before.critical_s && after.amortized_s <= before.amortized_s,
+        "passes must never increase modeled cost"
     );
 
     // Paper-comparable worst case first: one tensor core, XLA-unfused
@@ -152,16 +75,16 @@ fn main() {
     let paper_style_s = single_unfused.naive_wall_s(&graph, &params);
 
     // Then the scheduler's estimate on the real pod (fused lowering,
-    // batch formation) at 1 and 8 cores.
+    // batch formation over the optimized graph) at 1 and 8 cores.
     let mut per_image = Vec::new();
     for cores in [1u32, 8] {
-        let scheduler = Scheduler::new(TpuGeneration::V6e, cores);
-        let schedule = scheduler.schedule(&graph, &params);
+        let scheduler = Scheduler::new(TpuGeneration::V6e, cores).with_optimize(true);
+        let schedule = scheduler.schedule(&optimized.graph, &params);
         let naive_s = scheduler.naive_wall_s(&graph, &params);
         let fused = schedule.batches.iter().filter(|b| b.ops > 1).count();
         println!(
             "v6e-{cores}: {} batches ({} fused, largest {} ops): \
-             scheduled {:.0} ms vs naive per-op {:.0} ms ({:.2}x)",
+             optimized+scheduled {:.0} ms vs naive per-op {:.0} ms ({:.2}x)",
             schedule.batches.len(),
             fused,
             schedule.batches.iter().map(|b| b.ops).max().unwrap_or(0),
@@ -177,18 +100,19 @@ fn main() {
         paper_style_s * 64.0 * 1e3
     );
     println!(
-        "v6e-1 scheduled (fused):  per image {:.0} ms, batch-64 wall {:.0} ms",
+        "v6e-1 optimized+scheduled:  per image {:.0} ms, batch-64 wall {:.0} ms",
         per_image[0] * 1e3,
         per_image[0] * 64.0 * 1e3
     );
     println!(
-        "v6e-8 scheduled (fused):  per image {:.0} ms, batch-64 wall {:.0} ms",
+        "v6e-8 optimized+scheduled:  per image {:.0} ms, batch-64 wall {:.0} ms",
         per_image[1] * 1e3,
         per_image[1] * 64.0 * 1e3
     );
     println!("paper: {PAPER_MNIST_MS_PER_IMAGE} ms/image (10x faster than Orion, 98% accuracy)");
     println!("\nTakeaway: sub-second per-image encrypted inference on an AI ASIC;");
-    println!("the scheduler fuses the conv diagonal multiplies and same-step");
-    println!("rotations across channel ciphertexts, beating naive per-op dispatch");
-    println!("while still charging ICI communication, never dividing by cores.");
+    println!("the optimizer hoists each ciphertext's conv tap rotations onto one");
+    println!("shared decomposition, the scheduler fuses the diagonal multiplies and");
+    println!("same-step rotations across channel ciphertexts, and the estimate still");
+    println!("charges ICI communication — never dividing by cores.");
 }

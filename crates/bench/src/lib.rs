@@ -24,6 +24,8 @@
 
 use cross_tpu::{Category, PodSim, TpuGeneration};
 
+pub mod workloads;
+
 /// Prints a section banner.
 pub fn banner(title: &str) {
     println!();
@@ -67,7 +69,9 @@ pub fn serve_smoke(
     let keys = ServeKeys::new()
         .with_relin(kp.relin.clone())
         .with_rotation(1, ctx.generate_rotation_key(&kp.secret, 1));
-    let config = ServeConfig::new(gen, cores).with_workers(workers);
+    let config = ServeConfig::new(gen, cores)
+        .with_workers(workers)
+        .with_optimize(true);
 
     let start = std::time::Instant::now();
     let stats = serve::run(&ctx, &keys, &config, |client| {

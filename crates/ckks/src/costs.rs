@@ -288,6 +288,47 @@ pub fn he_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
     }
 }
 
+/// Kernel counts of the **shared digit decomposition** a hoisted
+/// rotation fan-out pays once: INTT of the key-switched polynomial's
+/// limbs, the per-digit base extensions, and the NTTs of the extended
+/// digit limbs. Splitting [`he_rotate_counts`] here is exact —
+/// [`he_hoist_decomp_counts`]` + `[`he_hoisted_rotate_counts`]
+/// reproduces the rotate counts component-wise (pinned in this
+/// module's tests), so hoisting `k` rotations of one ciphertext trades
+/// `k` full decompositions for one.
+pub fn he_hoist_decomp_counts(params: &CkksParams, l: usize) -> OpCounts {
+    let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
+    let alpha = params.digit_limbs();
+    let k = params.special_limbs();
+    let ext = l + k;
+    OpCounts {
+        intt: l,
+        ntt: dnum * (ext - alpha.min(l)),
+        bconv: dnum * alpha.min(l),
+        vec_mod_mul: 0,
+        vec_mod_add: 0,
+        automorphism: 0,
+    }
+}
+
+/// Kernel counts of one rotation riding a shared decomposition
+/// ([`he_hoist_decomp_counts`]): the automorphism permutations, the
+/// key inner products, and the mod-down — everything in
+/// [`he_rotate_counts`] except the decomposition itself.
+pub fn he_hoisted_rotate_counts(params: &CkksParams, l: usize) -> OpCounts {
+    let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
+    let k = params.special_limbs();
+    let ext = l + k;
+    OpCounts {
+        intt: k,
+        ntt: l,
+        bconv: k,
+        vec_mod_mul: 2 * dnum * ext + 2 * l,
+        vec_mod_add: 2 * dnum * ext + l,
+        automorphism: 2 * l,
+    }
+}
+
 /// Plaintext-multiply kernel counts at level `l` (2 polys × `l` limb
 /// VecModMuls; rescaling is counted separately). Shared by the
 /// bootstrapping estimator and the HELR/MNIST workload bins.
@@ -744,6 +785,45 @@ mod tests {
                 fused.latency_s,
                 unfused.latency_s
             );
+        }
+    }
+
+    #[test]
+    fn hoist_split_reproduces_rotate_counts_exactly() {
+        // decomp + hoisted-rotate must equal rotate component-wise at
+        // every level of every set: the hoisting pass relies on this
+        // split being an exact repartition, not an approximation.
+        for set in ParamSet::ALL {
+            let p = set.params();
+            for l in 1..=p.limbs {
+                let rot = he_rotate_counts(&p, l);
+                let dec = he_hoist_decomp_counts(&p, l);
+                let hoist = he_hoisted_rotate_counts(&p, l);
+                assert_eq!(dec.intt + hoist.intt, rot.intt, "{} l={l}", set.name());
+                assert_eq!(dec.ntt + hoist.ntt, rot.ntt, "{} l={l}", set.name());
+                assert_eq!(dec.bconv + hoist.bconv, rot.bconv, "{} l={l}", set.name());
+                assert_eq!(
+                    dec.vec_mod_mul + hoist.vec_mod_mul,
+                    rot.vec_mod_mul,
+                    "{} l={l}",
+                    set.name()
+                );
+                assert_eq!(
+                    dec.vec_mod_add + hoist.vec_mod_add,
+                    rot.vec_mod_add,
+                    "{} l={l}",
+                    set.name()
+                );
+                assert_eq!(
+                    dec.automorphism + hoist.automorphism,
+                    rot.automorphism,
+                    "{} l={l}",
+                    set.name()
+                );
+                // The decomposition is real work — hoisting k rotations
+                // must actually remove k-1 copies of something.
+                assert!(dec.intt + dec.ntt + dec.bconv > 0, "{} l={l}", set.name());
+            }
         }
     }
 

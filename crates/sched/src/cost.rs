@@ -57,6 +57,16 @@ pub fn node_bundles(params: &CkksParams, op: &HeOp) -> Vec<OpBundle> {
             costs::he_key_switch_counts(params, l).scaled(b),
             key(),
         ),
+        HeOpKind::HoistDecomp => one(
+            "HoistDecomp",
+            costs::he_hoist_decomp_counts(params, l).scaled(b),
+            0.0,
+        ),
+        HeOpKind::HoistedRotate { .. } => one(
+            "HoistedRotate",
+            costs::he_hoisted_rotate_counts(params, l).scaled(b),
+            key(),
+        ),
         HeOpKind::Bootstrap => {
             let counts = BootstrapCounts::packed(params);
             bootstrap::op_bundles(params, &counts)

@@ -82,6 +82,12 @@ fn exec_group(
             HeOpKind::Rotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
             HeOpKind::Rescale => ev.rescale(&a),
             HeOpKind::ModDrop { to_level } => ev.mod_drop(&a, to_level),
+            // The decomposed digits are a cost-model artifact; the
+            // value a HoistDecomp "produces" is its operand, and each
+            // HoistedRotate replays as the full rotate of it — which
+            // is why hoisting is bit-exact by construction.
+            HeOpKind::HoistDecomp => a,
+            HeOpKind::HoistedRotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
             _ => unreachable!(),
         }];
     }
@@ -99,6 +105,8 @@ fn exec_group(
         HeOpKind::Rotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
         HeOpKind::Rescale => ev.rescale_batch(&a),
         HeOpKind::ModDrop { to_level } => ev.mod_drop_batch(&a, to_level),
+        HeOpKind::HoistDecomp => a,
+        HeOpKind::HoistedRotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
         _ => unreachable!(),
     };
     out.to_ciphertexts()

@@ -48,6 +48,23 @@ pub enum HeOpKind {
     /// Packed bootstrapping (cost-only; expands to the Tab. IX kernel
     /// bundles).
     Bootstrap,
+    /// The shared digit decomposition a hoisted rotation fan-out pays
+    /// once ([`cross_ckks::costs::he_hoist_decomp_counts`]). Replay
+    /// treats it as an identity — the decomposed digits are an
+    /// implementation detail the sibling
+    /// [`HoistedRotate`](HeOpKind::HoistedRotate)s consume —
+    /// so hoisting is bit-exact by construction.
+    HoistDecomp,
+    /// One rotation riding a [`HoistDecomp`](HeOpKind::HoistDecomp):
+    /// automorphism + key inner
+    /// product + mod-down, the decomposition already paid
+    /// ([`cross_ckks::costs::he_hoisted_rotate_counts`]). Replays as a
+    /// full rotate of the passed-through operand.
+    HoistedRotate {
+        /// Slot rotation amount; selects the switching key, exactly
+        /// like [`Rotate`](HeOpKind::Rotate).
+        steps: usize,
+    },
 }
 
 impl HeOpKind {
@@ -63,6 +80,8 @@ impl HeOpKind {
             HeOpKind::ModDrop { .. } => "ModDrop",
             HeOpKind::KeySwitch => "KeySwitch",
             HeOpKind::Bootstrap => "Bootstrap",
+            HeOpKind::HoistDecomp => "HoistDecomp",
+            HeOpKind::HoistedRotate { .. } => "HoistedRotate",
         }
     }
 
@@ -79,7 +98,11 @@ impl HeOpKind {
     pub fn keyed(self) -> bool {
         matches!(
             self,
-            HeOpKind::Mult | HeOpKind::Rotate { .. } | HeOpKind::KeySwitch | HeOpKind::Bootstrap
+            HeOpKind::Mult
+                | HeOpKind::Rotate { .. }
+                | HeOpKind::KeySwitch
+                | HeOpKind::Bootstrap
+                | HeOpKind::HoistedRotate { .. }
         )
     }
 
@@ -96,6 +119,8 @@ impl HeOpKind {
                 | HeOpKind::Rotate { .. }
                 | HeOpKind::Rescale
                 | HeOpKind::ModDrop { .. }
+                | HeOpKind::HoistDecomp
+                | HeOpKind::HoistedRotate { .. }
         )
     }
 }
@@ -333,5 +358,27 @@ mod tests {
         assert!(!HeOpKind::Bootstrap.replayable());
         // Distinct steps are distinct kinds — they must not merge.
         assert_ne!(HeOpKind::Rotate { steps: 1 }, HeOpKind::Rotate { steps: 2 });
+    }
+
+    #[test]
+    fn hoist_kind_metadata() {
+        // HoistDecomp is an un-keyed replayable identity; HoistedRotate
+        // is keyed per step like Rotate and preserves the level.
+        assert!(!HeOpKind::HoistDecomp.keyed());
+        assert!(HeOpKind::HoistDecomp.replayable());
+        assert_eq!(HeOpKind::HoistDecomp.arity(), 1);
+        assert!(HeOpKind::HoistedRotate { steps: 2 }.keyed());
+        assert!(HeOpKind::HoistedRotate { steps: 2 }.replayable());
+        assert_eq!(HeOpKind::HoistedRotate { steps: 2 }.arity(), 1);
+        assert_ne!(
+            HeOpKind::HoistedRotate { steps: 1 },
+            HeOpKind::HoistedRotate { steps: 2 }
+        );
+        let mut g = OpGraph::new();
+        let a = g.input(4);
+        let d = g.add_op(HeOpKind::HoistDecomp, 4, 1, &[a]);
+        let r = g.add_op(HeOpKind::HoistedRotate { steps: 3 }, 4, 1, &[d]);
+        assert_eq!(g.node(d).result_level(), 4);
+        assert_eq!(g.node(r).result_level(), 4);
     }
 }

@@ -26,6 +26,10 @@
 //! * [`exec`] — [`replay`]/[`execute_schedule`]: run graphs and
 //!   schedules through the (batched) evaluator, bit-exact with eager
 //!   calls;
+//! * [`opt`] — [`PassManager`]: optimizer passes over the IR
+//!   (waterline level placement, rotation dedup, CSE, probe-guarded
+//!   rotation hoisting), bit-exact on sink values and never
+//!   cost-increasing;
 //! * [`channel`] — a registry-free bounded channel (block or reject
 //!   at capacity);
 //! * [`serve`] — [`serve::run`]: the multi-threaded serving loop —
@@ -61,14 +65,18 @@ pub mod channel;
 pub mod cost;
 pub mod exec;
 pub mod ir;
+pub mod opt;
 pub mod queue;
 pub mod record;
 pub mod sched;
 pub mod serve;
+#[doc(hidden)]
+pub mod testutil;
 
 pub use cost::{cost_graph, GraphCostReport, NodeCost};
 pub use exec::{execute_schedule, replay, ReplayKeys};
 pub use ir::{HeOp, HeOpKind, NodeId, OpGraph};
+pub use opt::{Cse, HoistRotations, Pass, PassManager, Rewrite, RotationDedup, Waterline};
 pub use queue::{
     Backpressure, BatchStats, Completed, Completion, CtId, Dispatch, HeRequest, QueueFull,
     RequestQueue, ServeError,

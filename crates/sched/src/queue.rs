@@ -59,6 +59,7 @@
 //! ```
 
 use crate::ir::{HeOpKind, NodeId, OpGraph};
+use crate::opt::PassManager;
 use crate::sched::{Schedule, Scheduler};
 use cross_ckks::params::CkksParams;
 use std::collections::{BTreeMap, VecDeque};
@@ -399,17 +400,32 @@ impl RequestQueue {
     /// Drains up to `max_ops` pending operations and schedules them.
     /// The [`Dispatch`] carries each popped ticket's completion slot
     /// (detached from the queue) for the executor to fulfill.
+    ///
+    /// When the scheduler has [`Scheduler::optimize`] set, the drained
+    /// graph first runs through the standard optimizer pipeline
+    /// ([`crate::opt::PassManager::standard`] on the scheduler's pod
+    /// and mode) and tickets are remapped onto the rewritten graph —
+    /// ticket values are bit-exact either way, since every ticket node
+    /// is a sink of the drained graph.
     pub fn drain(
         &mut self,
         scheduler: &Scheduler,
         params: &CkksParams,
         max_ops: usize,
     ) -> Dispatch {
-        let (graph, tickets) = self.form_graph(max_ops);
+        let (mut graph, mut tickets) = self.form_graph(max_ops);
         let completions = tickets
             .iter()
             .map(|&(t, _)| self.take_completion(t))
             .collect();
+        if scheduler.optimize {
+            let pm = PassManager::standard(scheduler.gen, scheduler.cores, scheduler.mode);
+            let rw = pm.run(&graph, params);
+            for (_, node) in &mut tickets {
+                *node = rw.remap[*node];
+            }
+            graph = rw.graph;
+        }
         let schedule = scheduler.schedule(&graph, params);
         Dispatch {
             graph,

@@ -71,6 +71,12 @@ pub struct Scheduler {
     /// pre-fused node larger than the cap is atomic and forms its own
     /// over-sized batch.
     pub max_fuse: usize,
+    /// Whether [`crate::queue::RequestQueue::drain`] runs the standard
+    /// optimizer pipeline ([`crate::opt::PassManager::standard`], on
+    /// this scheduler's pod and mode) over the drained graph before
+    /// batch formation. [`Scheduler::schedule`] itself never rewrites
+    /// the graph it is handed.
+    pub optimize: bool,
 }
 
 impl Scheduler {
@@ -82,6 +88,7 @@ impl Scheduler {
             cores,
             mode: ExecMode::FusedBatch,
             max_fuse: 16,
+            optimize: false,
         }
     }
 
@@ -98,6 +105,13 @@ impl Scheduler {
     pub fn with_max_fuse(mut self, max_fuse: usize) -> Self {
         assert!(max_fuse >= 1, "fusion cap must be ≥ 1");
         self.max_fuse = max_fuse;
+        self
+    }
+
+    /// Same scheduler with drain-time optimization switched on or off
+    /// (see [`Scheduler::optimize`]).
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
         self
     }
 

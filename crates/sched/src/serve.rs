@@ -121,7 +121,9 @@ impl ServeKeys {
     fn check(&self, kind: HeOpKind) -> Result<(), ServeError> {
         match kind {
             HeOpKind::Mult if self.relin.is_none() => Err(ServeError::MissingKey(kind.label())),
-            HeOpKind::Rotate { steps } if !self.rotation.contains_key(&steps) => {
+            HeOpKind::Rotate { steps } | HeOpKind::HoistedRotate { steps }
+                if !self.rotation.contains_key(&steps) =>
+            {
                 Err(ServeError::MissingKey(kind.label()))
             }
             _ => Ok(()),
@@ -150,6 +152,10 @@ pub struct ServeConfig {
     pub max_fuse: usize,
     /// NTT lowering mode the scheduler costs fused kernels with.
     pub mode: ExecMode,
+    /// Whether drains run the optimizer pipeline before batch
+    /// formation (see [`Scheduler::optimize`]; tickets are remapped,
+    /// so results are unchanged either way).
+    pub optimize: bool,
     /// Micro-batching window: once a dispatch has its first request,
     /// the dispatcher keeps gathering until [`drain_max`] requests are
     /// queued or this window expires. `ZERO` (the default) dispatches
@@ -175,6 +181,7 @@ impl ServeConfig {
             policy: Backpressure::Block,
             max_fuse: 16,
             mode: ExecMode::FusedBatch,
+            optimize: false,
             batch_window: std::time::Duration::ZERO,
         }
     }
@@ -232,10 +239,18 @@ impl ServeConfig {
         self
     }
 
+    /// Same configuration with drain-time optimization switched on or
+    /// off (see [`ServeConfig::optimize`]).
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
     fn scheduler(&self) -> Scheduler {
         Scheduler::new(self.gen, self.cores)
             .with_mode(self.mode)
             .with_max_fuse(self.max_fuse)
+            .with_optimize(self.optimize)
     }
 }
 

@@ -1,0 +1,226 @@
+//! Test support: a deterministic random [`OpGraph`] generator used by
+//! the differential optimizer harness (`tests/opt_model.rs`) and the
+//! scheduler determinism pins (`tests/sched_model.rs`).
+//!
+//! Hidden from docs: this is not part of the crate's public surface
+//! contract, only shared plumbing for the workspace's own tests.
+//!
+//! Graphs are valid **by construction** — every node's level and the
+//! virtual scale of every value are tracked exactly as the eager
+//! [`crate::exec`] evaluator path computes them (`Add` keeps the left
+//! scale, `Mult` tracks `a·b/q[aligned−1]`, `Rescale` divides by the
+//! dropped modulus), so a generated graph always replays without
+//! tripping the evaluator's scale-mismatch or level assertions. The
+//! generator deliberately plants optimizer fodder: duplicated ops for
+//! CSE, repeated rotation steps for dedup, rotation fan-outs for
+//! hoisting, and `ModDrop`s (including same-level no-ops) for the
+//! waterline.
+
+use crate::ir::{HeOpKind, NodeId, OpGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated graphs.
+#[derive(Debug, Clone)]
+pub struct GraphGenConfig {
+    /// Level the input ciphertexts start at (the graph's top level).
+    pub max_level: usize,
+    /// `moduli[l-1]` is the modulus dropped by a `Rescale`/`Mult`
+    /// executing at level `l`, as the `f64` the evaluator divides
+    /// scales by. For replay tests pass
+    /// `ctx.q_moduli().iter().map(|&q| q as f64)`; cost-only tests may
+    /// pass any positive values.
+    pub moduli: Vec<f64>,
+    /// Scale of the input ciphertexts (`ct.scale` after encryption).
+    pub base_scale: f64,
+    /// How many operation draws to make (each draw emits one op, or a
+    /// small fan-out burst).
+    pub ops: usize,
+    /// Rotation steps are drawn from `0..=max_steps` — step 0 included
+    /// on purpose: it is a real key switch, not an identity.
+    pub max_steps: usize,
+}
+
+impl GraphGenConfig {
+    /// A config for `params`-shaped graphs with synthetic moduli (all
+    /// equal to `base_scale`, the self-stabilizing choice): enough for
+    /// cost-model tests that never replay.
+    pub fn cost_only(max_level: usize, ops: usize) -> Self {
+        let base_scale = (1u64 << 28) as f64;
+        Self {
+            max_level,
+            moduli: vec![base_scale; max_level],
+            base_scale,
+            ops,
+            max_steps: 3,
+        }
+    }
+}
+
+/// Virtual value a node produces: `(result level, exact scale)`.
+type Meta = (usize, f64);
+
+/// Scales that stay far from f64 under/overflow keep every ratio the
+/// evaluator checks well-defined.
+fn scale_ok(s: f64) -> bool {
+    s.is_finite() && s.abs() > 1e-120 && s.abs() < 1e120
+}
+
+/// Whether the evaluator's `Add` accepts the pair. Half the 1 %
+/// tolerance the evaluator enforces, so the margin survives any
+/// tracking-vs-replay rounding (there is none — tracking mirrors the
+/// arithmetic exactly — but the margin is free).
+fn add_compatible(sa: f64, sb: f64) -> bool {
+    (sa / sb - 1.0).abs() < 5e-3
+}
+
+/// Deterministically generates a valid random graph: same `(seed,
+/// cfg)` ⇒ same graph. Inputs (1–3 of them) come first, at
+/// `cfg.max_level` and `cfg.base_scale`.
+pub fn random_graph(seed: u64, cfg: &GraphGenConfig) -> OpGraph {
+    assert!(cfg.max_level >= 2, "need a limb to drop for Mult/Rescale");
+    assert_eq!(cfg.moduli.len(), cfg.max_level, "one modulus per level");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = OpGraph::new();
+    let mut meta: Vec<Meta> = Vec::new();
+
+    for _ in 0..rng.gen_range(1usize..=3) {
+        g.input(cfg.max_level);
+        meta.push((cfg.max_level, cfg.base_scale));
+    }
+
+    let emit_rotate = |g: &mut OpGraph, meta: &mut Vec<Meta>, rng: &mut StdRng, a: NodeId| {
+        let (la, sa) = meta[a];
+        let steps = rng.gen_range(0usize..=cfg.max_steps);
+        g.add_op(HeOpKind::Rotate { steps }, la, 1, &[a]);
+        meta.push((la, sa));
+    };
+
+    for _ in 0..cfg.ops {
+        let a = rng.gen_range(0..g.len());
+        let (la, sa) = meta[a];
+        match rng.gen_range(0u32..10) {
+            // Rotations dominate real workloads; make them dominate
+            // here too.
+            0..=2 => emit_rotate(&mut g, &mut meta, &mut rng, a),
+            3 => {
+                // Add: fall back to a + a when the drawn partner's
+                // scale is incompatible (always compatible with
+                // itself).
+                let mut b = rng.gen_range(0..g.len());
+                let (_, sb) = meta[b];
+                if !add_compatible(sa, sb) {
+                    b = a;
+                }
+                let l = la.min(meta[b].0);
+                g.add_op(HeOpKind::Add, l, 1, &[a, b]);
+                meta.push((l, sa));
+            }
+            4 => {
+                // Mult: needs a limb to drop and a well-behaved
+                // product scale; otherwise degrade to a rotate.
+                let b = rng.gen_range(0..g.len());
+                let (lb, sb) = meta[b];
+                let l = la.min(lb);
+                let s = sa * sb / cfg.moduli[l.saturating_sub(1)];
+                if l >= 2 && scale_ok(s) {
+                    g.add_op(HeOpKind::Mult, l, 1, &[a, b]);
+                    meta.push((l - 1, s));
+                } else {
+                    emit_rotate(&mut g, &mut meta, &mut rng, a);
+                }
+            }
+            5 => {
+                let s = sa / cfg.moduli[la.saturating_sub(1)];
+                if la >= 2 && scale_ok(s) {
+                    g.add_op(HeOpKind::Rescale, la, 1, &[a]);
+                    meta.push((la - 1, s));
+                } else {
+                    emit_rotate(&mut g, &mut meta, &mut rng, a);
+                }
+            }
+            6 => {
+                // ModDrop, `to == la` (a no-op) included on purpose —
+                // waterline fodder.
+                let to = rng.gen_range(1..=la);
+                g.add_op(HeOpKind::ModDrop { to_level: to }, la, 1, &[a]);
+                meta.push((to, sa));
+            }
+            7 | 8 => {
+                // Exact duplicate of an earlier op — CSE/dedup fodder.
+                // (Falls back to a rotate while only inputs exist.)
+                let non_inputs: Vec<NodeId> = g
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.kind != HeOpKind::Input)
+                    .map(|n| n.id)
+                    .collect();
+                if non_inputs.is_empty() {
+                    emit_rotate(&mut g, &mut meta, &mut rng, a);
+                } else {
+                    let j = non_inputs[rng.gen_range(0..non_inputs.len())];
+                    let node = g.node(j).clone();
+                    g.add_op(node.kind, node.level, 1, &node.inputs);
+                    meta.push(meta[j]);
+                }
+            }
+            _ => {
+                // Rotation fan-out burst — hoisting fodder.
+                for _ in 0..rng.gen_range(2usize..=4) {
+                    emit_rotate(&mut g, &mut meta, &mut rng, a);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The set of rotation steps a graph uses (callers generate exactly
+/// these rotation keys before replaying).
+pub fn rotation_steps(graph: &OpGraph) -> std::collections::BTreeSet<usize> {
+    graph
+        .nodes()
+        .iter()
+        .filter_map(|n| match n.kind {
+            HeOpKind::Rotate { steps } | HeOpKind::HoistedRotate { steps } => Some(steps),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let cfg = GraphGenConfig::cost_only(6, 40);
+        let a = random_graph(42, &cfg);
+        let b = random_graph(42, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the same graph");
+        assert_ne!(a, random_graph(43, &cfg), "different seeds must differ");
+        // add_op's own assertions already vetted levels/arities during
+        // construction; spot-check the advertised shape.
+        assert!(a.len() > 40, "each draw emits at least one op");
+        assert!(a.nodes().iter().all(|n| n.batch == 1));
+    }
+
+    #[test]
+    fn generator_plants_optimizer_fodder() {
+        let cfg = GraphGenConfig::cost_only(8, 200);
+        let g = random_graph(7, &cfg);
+        let rotations = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, HeOpKind::Rotate { .. }))
+            .count();
+        let moddrops = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, HeOpKind::ModDrop { .. }))
+            .count();
+        assert!(rotations > 20, "rotation-heavy by design");
+        assert!(moddrops > 0, "waterline fodder present");
+        assert!(!rotation_steps(&g).is_empty());
+    }
+}

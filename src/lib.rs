@@ -105,6 +105,39 @@
 //! assert!(dispatch.schedule.wall_s() < scheduler.naive_wall_s(&dispatch.graph, &params));
 //! ```
 //!
+//! ## Optimizer passes
+//!
+//! Recorded graphs are rewritten before scheduling by the
+//! [`sched::PassManager`] pipeline — the rescale/ModDrop waterline,
+//! common-rotation dedup, CSE, and cost-guarded rotation hoisting —
+//! bit-exact on sink values and never costlier under the one pod cost
+//! engine (this is the README's optimizer doctest):
+//!
+//! ```
+//! use cross::ckks::costs::ExecMode;
+//! use cross::ckks::params::ParamSet;
+//! use cross::sched::{cost_graph, HeOpKind, OpGraph, PassManager, Scheduler};
+//! use cross::tpu::{PodSim, TpuGeneration};
+//!
+//! let params = ParamSet::C.params();
+//! let l = params.limbs;
+//! let mut g = OpGraph::new();
+//! let x = g.input(l);
+//! for steps in [1, 1, 2, 2, 4, 4, 8, 8] {
+//!     g.add_op(HeOpKind::Rotate { steps }, l, 1, &[x]); // recorded twice by accident
+//! }
+//! let pm = PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch);
+//! let rw = pm.run(&g, &params);
+//! assert!(rw.graph.op_count() < g.op_count()); // dedup, then one shared decomposition
+//! let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+//! let before = cost_graph(&mut pod, &params, &g, ExecMode::FusedBatch);
+//! let after = cost_graph(&mut pod, &params, &rw.graph, ExecMode::FusedBatch);
+//! assert!(after.critical_s <= before.critical_s); // passes never cost
+//! // rw.remap[old] says where every original value now lives. On the
+//! // serving path the drain does all of this per batch when asked:
+//! let _optimizing = Scheduler::new(TpuGeneration::V6e, 8).with_optimize(true);
+//! ```
+//!
 //! ## Serving
 //!
 //! [`sched::serve::run`] wraps the queue and scheduler in a

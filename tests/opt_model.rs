@@ -1,0 +1,368 @@
+//! Differential optimizer harness (ISSUE 6): the correctness
+//! centerpiece for the `cross::sched::opt` pass pipeline.
+//!
+//! Hundreds of random `OpGraph`s — valid levels and scales **by
+//! construction** (see `cross::sched::testutil`) — are replayed
+//! through the eager CKKS evaluator twice: once as recorded, once
+//! after optimization. For every pass alone and for the standard
+//! pipeline, the harness asserts
+//!
+//! 1. **bit-exactness** — each original sink's ciphertext (`c0`/`c1`
+//!    limbs, level, scale bits) equals the ciphertext at the node the
+//!    rewrite's `remap` points to, and
+//! 2. **cost monotonicity** — `cost_graph` critical and amortized
+//!    totals never increase (no epsilon: the passes are either
+//!    strictly profitable or exact no-ops).
+//!
+//! Edge cases get their own pins: empty and Input-only graphs,
+//! already-optimal graphs (fixpoint/idempotency), step-0 rotations
+//! (dedupable, but a *real* key switch — never rewritten to an
+//! identity), and same-level `ModDrop` no-ops (eliminated, with drop
+//! chains retargeted).
+//!
+//! The replay fixture uses a deliberately small ring (N = 2^8) so 256
+//! random cases stay fast; bit-exactness does not depend on the ring
+//! size, only on both replays running the same kernels.
+
+use std::sync::OnceLock;
+
+use cross::ckks::costs::ExecMode;
+use cross::ckks::params::{CkksParams, ParamSet};
+use cross::ckks::{Ciphertext, CkksContext, Evaluator, KeyPair, SwitchingKey};
+use cross::sched::testutil::{random_graph, rotation_steps, GraphGenConfig};
+use cross::sched::{
+    cost_graph, replay, Cse, HeOpKind, HoistRotations, OpGraph, Pass, PassManager, ReplayKeys,
+    Rewrite, RotationDedup, Waterline,
+};
+use cross::tpu::{PodSim, TpuGeneration};
+use proptest::prelude::*;
+
+/// Generated rotation steps live in `0..=MAX_STEPS`; the fixture holds
+/// one rotation key per step.
+const MAX_STEPS: usize = 3;
+
+struct Fixture {
+    ctx: CkksContext,
+    kp: KeyPair,
+    /// `rotation[s]` is the key for `Rotate { steps: s }`.
+    rotation: Vec<SwitchingKey>,
+    /// Three encrypted inputs (the generator emits 1–3 Input nodes).
+    cts: Vec<Ciphertext>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::new(1 << 8, 5, 2, 28), 0xD1FF);
+        let kp = ctx.generate_keys();
+        let rotation = (0..=MAX_STEPS)
+            .map(|s| ctx.generate_rotation_key(&kp.secret, s))
+            .collect();
+        let cts: Vec<_> = (0..3)
+            .map(|b| {
+                let msg: Vec<f64> = (0..ctx.slot_count())
+                    .map(|i| 0.25 + ((i + 3 * b) as f64 * 0.13).sin() * 0.3)
+                    .collect();
+                ctx.encrypt(&msg, &kp.public)
+            })
+            .collect();
+        Fixture {
+            ctx,
+            kp,
+            rotation,
+            cts,
+        }
+    })
+}
+
+fn replay_keys(fx: &Fixture) -> ReplayKeys<'_> {
+    let mut keys = ReplayKeys::new().with_relin(&fx.kp.relin);
+    for (steps, key) in fx.rotation.iter().enumerate() {
+        keys = keys.with_rotation(steps, key);
+    }
+    keys
+}
+
+/// Config for graphs that replay on the fixture context: real moduli,
+/// the real encryption scale, levels starting at the ciphertext top.
+fn replay_cfg(fx: &Fixture, ops: usize) -> GraphGenConfig {
+    let top = fx.cts[0].level;
+    assert_eq!(top, fx.ctx.params().limbs, "fresh ciphertexts start at L");
+    GraphGenConfig {
+        max_level: top,
+        moduli: fx.ctx.q_moduli().iter().map(|&q| q as f64).collect(),
+        base_scale: fx.cts[0].scale,
+        ops,
+        max_steps: MAX_STEPS,
+    }
+}
+
+/// The four passes, in pipeline order, each boxed for uniform driving.
+fn single_passes() -> Vec<(&'static str, Box<dyn Pass>)> {
+    vec![
+        ("waterline", Box::new(Waterline)),
+        ("rotation-dedup", Box::new(RotationDedup)),
+        ("cse", Box::new(Cse)),
+        (
+            "hoist-rotations",
+            Box::new(HoistRotations::new(TpuGeneration::V6e, 8)),
+        ),
+    ]
+}
+
+fn standard() -> PassManager {
+    PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch)
+}
+
+/// Replays `graph` on the fixture and returns the per-node results.
+fn replay_on_fixture(graph: &OpGraph, fx: &Fixture) -> Vec<Option<Ciphertext>> {
+    let ev = Evaluator::new(&fx.ctx);
+    let keys = replay_keys(fx);
+    let n_inputs = graph
+        .nodes()
+        .iter()
+        .filter(|n| n.kind == HeOpKind::Input)
+        .count();
+    assert!(
+        rotation_steps(graph).iter().all(|&s| s <= MAX_STEPS),
+        "fixture holds keys for every generated step"
+    );
+    replay(graph, &ev, &keys, &fx.cts[..n_inputs])
+}
+
+/// Every original sink's value must be bit-identical to the value at
+/// `rw.remap[sink]` in the rewritten graph.
+fn assert_sinks_bit_exact(
+    graph: &OpGraph,
+    orig: &[Option<Ciphertext>],
+    rw: &Rewrite,
+    fx: &Fixture,
+    tag: &str,
+) {
+    let opt = replay_on_fixture(&rw.graph, fx);
+    assert_eq!(
+        rw.remap.len(),
+        graph.len(),
+        "{tag}: remap covers every node"
+    );
+    for sink in graph.sinks() {
+        let want = orig[sink].as_ref().expect("generated sinks carry values");
+        let have = opt[rw.remap[sink]]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{tag}: sink {sink} remapped to a value-less node"));
+        assert_eq!(want.c0.limbs(), have.c0.limbs(), "{tag}: sink {sink} c0");
+        assert_eq!(want.c1.limbs(), have.c1.limbs(), "{tag}: sink {sink} c1");
+        assert_eq!(want.level, have.level, "{tag}: sink {sink} level");
+        assert_eq!(
+            want.scale.to_bits(),
+            have.scale.to_bits(),
+            "{tag}: sink {sink} scale"
+        );
+    }
+}
+
+fn critical_and_amortized(graph: &OpGraph, params: &CkksParams) -> (f64, f64) {
+    let mut pod = PodSim::new(TpuGeneration::V6e, 8);
+    let rep = cost_graph(&mut pod, params, graph, ExecMode::FusedBatch);
+    (rep.critical_s, rep.amortized_s)
+}
+
+proptest! {
+    // 256 random graphs through *six* replays each (original, four
+    // single passes, full pipeline): the acceptance bar's bit-exactness
+    // sweep.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_every_pass_and_the_pipeline_replay_bit_exact(
+        seed in any::<u64>(),
+        ops in 8usize..28,
+    ) {
+        let fx = fixture();
+        let cfg = replay_cfg(fx, ops);
+        let graph = random_graph(seed, &cfg);
+        let params = fx.ctx.params();
+        let orig = replay_on_fixture(&graph, fx);
+
+        for (name, pass) in single_passes() {
+            let rw = pass.run(&graph, params);
+            assert_sinks_bit_exact(&graph, &orig, &rw, fx, name);
+        }
+        let rw = standard().run(&graph, params);
+        assert_sinks_bit_exact(&graph, &orig, &rw, fx, "standard pipeline");
+    }
+
+    #[test]
+    fn prop_every_pass_and_the_pipeline_never_increase_modeled_cost(
+        seed in any::<u64>(),
+        ops in 8usize..64,
+    ) {
+        // Cost monotonicity needs no ciphertexts — synthetic-moduli
+        // graphs at a real parameter set, through the one cost engine.
+        let params = ParamSet::A.params();
+        let cfg = GraphGenConfig::cost_only(params.limbs, ops);
+        let graph = random_graph(seed, &cfg);
+        let (crit, amort) = critical_and_amortized(&graph, &params);
+
+        for (name, pass) in single_passes() {
+            let rw = pass.run(&graph, &params);
+            let (c, a) = critical_and_amortized(&rw.graph, &params);
+            prop_assert!(c <= crit, "{}: critical {c} > {crit}", name);
+            prop_assert!(a <= amort, "{}: amortized {a} > {amort}", name);
+        }
+        let rw = standard().run(&graph, &params);
+        let (c, a) = critical_and_amortized(&rw.graph, &params);
+        prop_assert!(c <= crit, "pipeline: critical {c} > {crit}");
+        prop_assert!(a <= amort, "pipeline: amortized {a} > {amort}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Re-running the pipeline converges to a fixpoint within a few
+    /// rounds (not necessarily one: a CSE merge can strip the last
+    /// high-level consumer of an interior `Add`, which the next
+    /// round's waterline then lowers further — see the `opt` module
+    /// docs). Convergence is cost-monotone: neither modeled total ever
+    /// increases between rounds (node count may grow when hoisting
+    /// inserts a shared decomposition), and the fixpoint remaps every
+    /// node to itself.
+    #[test]
+    fn prop_standard_pipeline_converges_to_a_fixpoint(
+        seed in any::<u64>(),
+        ops in 8usize..64,
+    ) {
+        let params = ParamSet::A.params();
+        let cfg = GraphGenConfig::cost_only(params.limbs, ops);
+        let pm = standard();
+        let mut graph = random_graph(seed, &cfg);
+        let (mut crit, mut amort) = critical_and_amortized(&graph, &params);
+        let mut converged = false;
+        for _round in 0..8 {
+            let rw = pm.run(&graph, &params);
+            let (c, a) = critical_and_amortized(&rw.graph, &params);
+            prop_assert!(c <= crit && a <= amort, "a round increased modeled cost");
+            if rw.graph == graph {
+                let identity: Vec<_> = (0..graph.len()).collect();
+                prop_assert_eq!(rw.remap, identity, "fixpoint moved a value");
+                converged = true;
+                break;
+            }
+            graph = rw.graph;
+            (crit, amort) = (c, a);
+        }
+        prop_assert!(converged, "no fixpoint within 8 rounds");
+    }
+}
+
+#[test]
+fn empty_and_input_only_graphs_are_fixpoints() {
+    let params = ParamSet::A.params();
+    let pm = standard();
+
+    let empty = OpGraph::new();
+    let rw = pm.run(&empty, &params);
+    assert!(rw.graph.is_empty());
+    assert!(rw.remap.is_empty());
+
+    let mut inputs_only = OpGraph::new();
+    let a = inputs_only.input(params.limbs);
+    let b = inputs_only.input(params.limbs);
+    let rw = pm.run(&inputs_only, &params);
+    assert_eq!(rw.graph, inputs_only, "Input nodes are never rewritten");
+    assert_eq!(rw.remap, vec![a, b]);
+}
+
+#[test]
+fn already_optimal_graphs_come_back_unchanged() {
+    // A straight-line program with nothing to merge, lower, or hoist.
+    let params = ParamSet::A.params();
+    let l = params.limbs;
+    let mut g = OpGraph::new();
+    let x = g.input(l);
+    let y = g.input(l);
+    let m = g.add_op(HeOpKind::Mult, l, 1, &[x, y]);
+    let r = g.add_op(HeOpKind::Rotate { steps: 1 }, l - 1, 1, &[m]);
+    g.add_op(HeOpKind::Rescale, l - 1, 1, &[r]);
+
+    let rw = standard().run(&g, &params);
+    assert_eq!(rw.graph, g);
+    assert_eq!(rw.remap, (0..g.len()).collect::<Vec<_>>());
+}
+
+#[test]
+fn step_zero_rotations_dedup_but_stay_real_key_switches() {
+    // rotate(x, 0) is deterministic, so duplicates merge — but it runs
+    // a full key switch, so it must never be rewritten to an identity.
+    let fx = fixture();
+    let params = fx.ctx.params();
+    let top = fx.cts[0].level;
+    let mut g = OpGraph::new();
+    let x = g.input(top);
+    let r1 = g.add_op(HeOpKind::Rotate { steps: 0 }, top, 1, &[x]);
+    let r2 = g.add_op(HeOpKind::Rotate { steps: 0 }, top, 1, &[x]);
+    g.add_op(HeOpKind::Add, top, 1, &[r1, r2]);
+
+    let orig = replay_on_fixture(&g, fx);
+    // The key switch re-encrypts: the step-0 result is a *different*
+    // ciphertext for the same plaintext, so identity-rewriting it would
+    // change bits downstream.
+    assert_ne!(
+        orig[r1].as_ref().unwrap().c0.limbs(),
+        orig[x].as_ref().unwrap().c0.limbs(),
+        "step-0 rotation must actually key-switch"
+    );
+
+    let rw = standard().run(&g, params);
+    assert_eq!(rw.graph.len(), g.len() - 1, "the duplicate pair merged");
+    assert_eq!(rw.remap[r1], rw.remap[r2], "both duplicates share one node");
+    assert_ne!(
+        rw.remap[r1], rw.remap[x],
+        "step 0 was not erased to its input"
+    );
+    assert!(
+        rw.graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, HeOpKind::Rotate { steps: 0 })),
+        "the surviving node is still a rotation"
+    );
+    assert_sinks_bit_exact(&g, &orig, &rw, fx, "step-0 dedup");
+}
+
+#[test]
+fn same_level_moddrop_noops_are_eliminated_and_chains_retarget() {
+    // x → ModDrop(to=top, a no-op) → ModDrop(to=top-1) → Rotate: the
+    // waterline retargets the first drop to top-1, which turns the
+    // second into an identity and eliminates it.
+    let fx = fixture();
+    let params = fx.ctx.params();
+    let top = fx.cts[0].level;
+    let mut g = OpGraph::new();
+    let x = g.input(top);
+    let noop = g.add_op(HeOpKind::ModDrop { to_level: top }, top, 1, &[x]);
+    let drop = g.add_op(HeOpKind::ModDrop { to_level: top - 1 }, top, 1, &[noop]);
+    let sink = g.add_op(HeOpKind::Rotate { steps: 1 }, top - 1, 1, &[drop]);
+
+    let orig = replay_on_fixture(&g, fx);
+    for (tag, rw) in [
+        ("waterline", Waterline.run(&g, params)),
+        ("standard pipeline", standard().run(&g, params)),
+    ] {
+        let drops = rw
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, HeOpKind::ModDrop { .. }))
+            .count();
+        assert_eq!(drops, 1, "{tag}: the chain collapsed to one drop");
+        assert_eq!(rw.graph.len(), g.len() - 1, "{tag}: one node eliminated");
+        assert_eq!(
+            rw.graph.node(rw.remap[sink]).kind,
+            HeOpKind::Rotate { steps: 1 },
+            "{tag}: the sink survived"
+        );
+        assert_sinks_bit_exact(&g, &orig, &rw, fx, tag);
+    }
+}

@@ -13,15 +13,18 @@
 //! 3. **Merge safety** — batch formation never fuses ops of different
 //!    kinds, levels, or rotation steps.
 //! 4. **Determinism** — the same graph always produces the same
-//!    schedule (batching decisions are pure cost arithmetic).
+//!    schedule (batching decisions are pure cost arithmetic), with or
+//!    without the ISSUE-6 optimizer pipeline in front — and on flat
+//!    drain-formed graphs that pipeline is a structural no-op.
 
 use cross::ckks::bootstrap;
 use cross::ckks::costs::{self, ExecMode};
 use cross::ckks::params::{CkksParams, ParamSet};
 use cross::ckks::{CkksContext, Evaluator};
+use cross::sched::testutil::{random_graph, GraphGenConfig};
 use cross::sched::{
-    cost_graph, execute_schedule, replay, HeOpKind, OpGraph, Recorder, ReplayKeys, RequestQueue,
-    Scheduler,
+    cost_graph, execute_schedule, replay, HeOpKind, OpGraph, PassManager, Recorder, ReplayKeys,
+    RequestQueue, Scheduler,
 };
 use cross::tpu::{PodSim, TpuGeneration};
 use proptest::prelude::*;
@@ -221,6 +224,65 @@ fn scheduling_is_deterministic_across_runs() {
     assert_eq!(
         d1.schedule.wall_s().to_bits(),
         d2.schedule.wall_s().to_bits()
+    );
+}
+
+#[test]
+fn scheduling_an_optimized_graph_is_deterministic() {
+    // ISSUE 6 regression pin: the optimizer adds no nondeterminism
+    // anywhere on the path — same random graph, same rewrite, same
+    // schedule, bit-identical wall clock, across independent runs.
+    let params = ParamSet::A.params();
+    let cfg = GraphGenConfig::cost_only(params.limbs, 60);
+    let pm = PassManager::standard(TpuGeneration::V6e, 8, ExecMode::FusedBatch);
+    let scheduler = Scheduler::new(TpuGeneration::V6e, 8);
+    let run = || {
+        let rw = pm.run(&random_graph(11, &cfg), &params);
+        let schedule = scheduler.schedule(&rw.graph, &params);
+        (rw, schedule)
+    };
+    let (rw1, s1) = run();
+    let (rw2, s2) = run();
+    assert_eq!(rw1.graph, rw2.graph);
+    assert_eq!(rw1.remap, rw2.remap);
+    assert_eq!(s1, s2);
+    assert_eq!(s1.wall_s().to_bits(), s2.wall_s().to_bits());
+}
+
+#[test]
+fn optimized_drain_is_deterministic_and_a_noop_on_flat_queues() {
+    // Drain-formed graphs give every request fresh Input nodes, so
+    // nothing duplicates, nothing fans out, and every op is a sink:
+    // the standard pipeline must be a structural no-op there (the
+    // claim `benches/sched_throughput.rs` leans on), and draining with
+    // the optimizer on stays exactly as deterministic as without.
+    let params = ParamSet::C.params();
+    let build = || {
+        let mut q = RequestQueue::new();
+        for i in 0..24 {
+            match i % 3 {
+                0 => q.submit(HeOpKind::Rotate { steps: 1 + i % 2 }, params.limbs),
+                1 => q.submit(HeOpKind::Mult, params.limbs),
+                _ => q.submit(HeOpKind::Add, params.limbs),
+            };
+        }
+        q
+    };
+    let plain = Scheduler::new(TpuGeneration::V6e, 8);
+    let optimizing = plain.with_optimize(true);
+    let d1 = build().drain(&optimizing, &params, 24);
+    let d2 = build().drain(&optimizing, &params, 24);
+    assert_eq!(d1.graph, d2.graph);
+    assert_eq!(d1.schedule, d2.schedule);
+    let unopt = build().drain(&plain, &params, 24);
+    assert_eq!(
+        d1.graph, unopt.graph,
+        "flat drain graphs have nothing to optimize"
+    );
+    assert_eq!(d1.schedule, unopt.schedule);
+    assert_eq!(
+        d1.schedule.wall_s().to_bits(),
+        unopt.schedule.wall_s().to_bits()
     );
 }
 
