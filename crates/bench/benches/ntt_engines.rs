@@ -1,12 +1,15 @@
 //! Criterion: host-side throughput of the NTT engines (radix-2 CT,
-//! 4-step, MAT 3-step reference) — the CPU row of Tab. VIII ("CROSS for
-//! CPU" runs the O(N√N) layout-invariant schedule).
+//! six-step, 4-step, MAT 3-step reference) — the CPU row of Tab. VIII
+//! ("CROSS for CPU" runs the O(N√N) layout-invariant schedule), plus
+//! the Shoup/lazy six-step engine that is the repo's default
+//! functional executor. `six_step` is gated in `bench_diff`: it must
+//! stay ahead of `radix2_ct` at N = 4096.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cross_core::mat::ntt3::{Ntt3Config, Ntt3Plan};
 use cross_core::modred::ModRed;
 use cross_math::primes;
-use cross_poly::{CooleyTukeyNtt, FourStepNtt, NttEngine, NttTables};
+use cross_poly::{CooleyTukeyNtt, FourStepNtt, NttEngine, NttTables, SixStepNtt};
 use std::sync::Arc;
 
 fn bench_engines(c: &mut Criterion) {
@@ -19,6 +22,13 @@ fn bench_engines(c: &mut Criterion) {
         let ct = CooleyTukeyNtt::new(tables.clone());
         g.bench_with_input(BenchmarkId::new("radix2_ct", logn), &a, |b, a| {
             b.iter(|| ct.forward(a))
+        });
+        let ss = SixStepNtt::new(tables.clone());
+        // Same bit-reversed output contract: pin bit-identity before
+        // timing, so the gated speed pair compares equal work.
+        assert_eq!(ss.forward(&a), ct.forward(&a), "six_step == radix2");
+        g.bench_with_input(BenchmarkId::new("six_step", logn), &a, |b, a| {
+            b.iter(|| ss.forward(a))
         });
         let r = 1usize << (logn / 2);
         let fs = FourStepNtt::new(tables.clone(), r, n / r);

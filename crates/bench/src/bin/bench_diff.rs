@@ -9,11 +9,12 @@
 //!   than [`FAIL_RATIO`]. The
 //!   `pod_table8`/`pod_table9`/`sched_model`/`opt_model` entries are
 //!   pure cost-model output — deterministic, so any regression is a
-//!   real model change. The `batched_ntt` entries are
-//!   wall-clock: gated because they guard the headline fusion claim,
-//!   at the acknowledged cost that a much slower runner than the
-//!   baseline machine can trip them — refresh `BENCH_baseline.json`
-//!   on the CI runner class if that happens.
+//!   real model change. The `batched_ntt` and `ntt_engines/six_step`
+//!   entries are wall-clock: gated because they guard the headline
+//!   fusion claim and the default host engine's speed, at the
+//!   acknowledged cost that a much slower runner than the baseline
+//!   machine can trip them — refresh `BENCH_baseline.json` on the CI
+//!   runner class if that happens.
 //! * **Warn-only** — every other wall-clock key: the stub's
 //!   fixed-window measurements on shared CI runners are indicative,
 //!   not statistically sound, so those regressions are surfaced for a
@@ -24,7 +25,11 @@
 //! `sched_model/fused_per_op/*` entry must beat its `naive_per_op`
 //! counterpart (failing), and every `opt_model/optimized_cost/*`
 //! entry must beat its `unoptimized_cost` counterpart (failing —
-//! the optimizer-pass win on the workload graphs). The serving-loop claim —
+//! the optimizer-pass win on the workload graphs). Two pinned pairs
+//! guard the six-step host engine (failing): `ntt_engines/six_step/*`
+//! must beat `ntt_engines/radix2_ct/*`, and
+//! `batched_ntt/six_step_fused/*` must beat `batched_ntt/mat3_fused/*`
+//! — the "default engine is the fastest engine" claim. The serving-loop claim —
 //! `serve_throughput/serve_multi/*` sustaining at least
 //! `single_drain/*`'s throughput — is checked **warn-only**: both
 //! sides are wall-clock, and on a single-core runner the loop can at
@@ -40,8 +45,9 @@ const WARN_RATIO: f64 = 1.5;
 const FAIL_RATIO: f64 = 1.25;
 
 /// Key prefixes held to the failing [`FAIL_RATIO`] gate.
-const GATED_PREFIXES: [&str; 5] = [
+const GATED_PREFIXES: [&str; 6] = [
     "batched_ntt/",
+    "ntt_engines/six_step",
     "pod_table8/",
     "pod_table9/",
     "sched_model/",
@@ -130,6 +136,8 @@ fn main() {
         ("_fused/", "_sequential/", true),
         ("/fused_per_op/", "/naive_per_op/", true),
         ("/optimized_cost/", "/unoptimized_cost/", true),
+        ("/six_step/", "/radix2_ct/", true),
+        ("/six_step_fused/", "/mat3_fused/", true),
         ("/serve_multi/", "/single_drain/", false),
     ];
     for (label, &ns) in &results {

@@ -10,6 +10,7 @@ use cross_math::{modops, primes};
 use cross_poly::ring::Domain;
 use cross_poly::rns_poly::{RnsContext, RnsPoly};
 use cross_poly::sampling;
+use cross_poly::NttTables;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
@@ -29,6 +30,8 @@ pub struct CkksContext {
     level_ctxs: Vec<Arc<RnsContext>>,
     /// `ks_ctxs[l-1]`: RNS context over `q_0..q_{l-1} ∪ P`.
     ks_ctxs: Vec<Arc<RnsContext>>,
+    /// RNS context over the full `Q·P` chain (key-material encryption).
+    full_ctx: Arc<RnsContext>,
     /// `P = Π p_i`.
     big_p: BigUint,
     rng: Mutex<StdRng>,
@@ -44,15 +47,24 @@ impl CkksContext {
         let total = params.limbs + params.special_limbs();
         let chain = primes::ntt_prime_chain(params.log2_q, params.n as u64, total)
             .expect("not enough NTT primes below 2^log2_q for this degree");
+        // One NttTables (and one cached six-step plan) per modulus,
+        // shared by every level/extension context instead of rebuilding
+        // O(N) twiddle material per level — the chain has `limbs`
+        // levels each holding up to `total` tables.
+        let shared: Vec<Arc<NttTables>> = chain
+            .iter()
+            .map(|&q| Arc::new(NttTables::new(params.n, q)))
+            .collect();
         let mut level_ctxs = Vec::with_capacity(params.limbs);
         let mut ks_ctxs = Vec::with_capacity(params.limbs);
         for l in 1..=params.limbs {
-            let q_part = chain[..l].to_vec();
-            level_ctxs.push(Arc::new(RnsContext::new(params.n, q_part.clone())));
+            let q_part = shared[..l].to_vec();
+            level_ctxs.push(Arc::new(RnsContext::with_tables(params.n, q_part.clone())));
             let mut ext = q_part;
-            ext.extend_from_slice(&chain[params.limbs..]);
-            ks_ctxs.push(Arc::new(RnsContext::new(params.n, ext)));
+            ext.extend_from_slice(&shared[params.limbs..]);
+            ks_ctxs.push(Arc::new(RnsContext::with_tables(params.n, ext)));
         }
+        let full_ctx = Arc::new(RnsContext::with_tables(params.n, shared));
         let big_p = BigUint::product_of(&chain[params.limbs..]);
         Self {
             params,
@@ -60,6 +72,7 @@ impl CkksContext {
             chain,
             level_ctxs,
             ks_ctxs,
+            full_ctx,
             big_p,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
@@ -251,7 +264,7 @@ impl CkksContext {
         w_j: &BigUint,
     ) -> SwitchingKeyDigit {
         let n = self.params.n;
-        let full_ctx = Arc::new(RnsContext::new(n, self.chain.clone()));
+        let full_ctx = self.full_ctx.clone();
         let mut rng = self.rng.lock().unwrap();
         let a_limbs: Vec<Vec<u64>> = self
             .chain

@@ -7,8 +7,9 @@
 //! and a transform of an `L`-limb batch of `B` polynomials runs `L`
 //! fused matmul pipelines whose streamed dimension is `C·B` — the shape
 //! the simulator charges and the paper's Fig. 11b sweeps. The CPU
-//! reference paths fan the independent limb transforms out over the
-//! scoped-thread pool.
+//! *functional* paths run the six-step host engine (the fastest
+//! bit-identical executor); the compiled matmul reference remains the
+//! per-limb `*_reference` methods on [`Ntt3Plan`].
 //!
 //! With `embed_bitrev = true` the plan layout **is** the radix-2
 //! butterfly layout, so these transforms are bit-compatible with
@@ -18,7 +19,6 @@
 use crate::mat::ntt3::{Ntt3Config, Ntt3Plan};
 use crate::modred::ModRed;
 use crate::plan;
-use cross_math::par;
 use cross_poly::ring::Domain;
 use cross_poly::rns_poly::RnsContext;
 use cross_poly::PolyBatch;
@@ -88,55 +88,30 @@ impl RnsNttPlans {
         );
     }
 
-    /// Whether the per-limb batched matmuls are big enough that
-    /// [`cross_poly::engines::matmul_mod_par`] will fan out internally
-    /// — in that case the outer limb loop stays serial so the two
-    /// levels don't oversubscribe the cores.
-    fn inner_matmuls_parallelize(&self, batch: usize) -> bool {
-        const INNER_PAR_THRESHOLD: usize = 1 << 18;
-        self.plans.first().is_some_and(|p| {
-            let cfg = p.config();
-            let work = cfg.r * cfg.r * cfg.c * batch;
-            work >= INNER_PAR_THRESHOLD && par::parallelism() > 1
-        })
-    }
-
     /// Forward-transforms a coefficient-domain batch to the evaluation
-    /// domain, pure CPU. Small shapes parallelize across limbs; large
-    /// shapes run limbs serially and parallelize inside each matmul.
-    /// Bit-identical to [`PolyBatch::to_evaluation`].
+    /// domain, pure CPU. Since the `embed_bitrev` plan layout **is** the
+    /// butterfly layout, the functional executor runs the six-step host
+    /// engine (`limb × batch` segments fanned over the scoped pool by
+    /// [`PolyBatch::to_evaluation`]) — bit-identical to the compiled
+    /// matmul reference, which stays available per limb as
+    /// [`Ntt3Plan::forward_batch_reference`] for the cost model and the
+    /// TPU paths.
     pub fn forward_batch(&self, pb: &PolyBatch) -> PolyBatch {
         self.check(pb, Domain::Coefficient);
-        let batch = pb.batch();
-        let mut out: Vec<Vec<u64>> = vec![Vec::new(); pb.level_count()];
-        let fill = |i: usize, limb: &mut Vec<u64>| {
-            *limb = self.plans[i].forward_batch_reference(&pb.limbs()[i], batch);
-        };
-        if self.inner_matmuls_parallelize(batch) {
-            out.iter_mut().enumerate().for_each(|(i, l)| fill(i, l));
-        } else {
-            par::par_for_each_mut(&mut out, fill);
-        }
-        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Evaluation)
+        let mut out = pb.clone();
+        out.to_evaluation();
+        out
     }
 
     /// Inverse-transforms an evaluation-domain batch back to
-    /// coefficients, pure CPU (same limb-vs-matmul parallelism split as
+    /// coefficients, pure CPU (six-step host engine, like
     /// [`RnsNttPlans::forward_batch`]). Bit-identical to
-    /// [`PolyBatch::to_coefficient`].
+    /// [`Ntt3Plan::inverse_batch_reference`] per limb.
     pub fn inverse_batch(&self, pb: &PolyBatch) -> PolyBatch {
         self.check(pb, Domain::Evaluation);
-        let batch = pb.batch();
-        let mut out: Vec<Vec<u64>> = vec![Vec::new(); pb.level_count()];
-        let fill = |i: usize, limb: &mut Vec<u64>| {
-            *limb = self.plans[i].inverse_batch_reference(&pb.limbs()[i], batch);
-        };
-        if self.inner_matmuls_parallelize(batch) {
-            out.iter_mut().enumerate().for_each(|(i, l)| fill(i, l));
-        } else {
-            par::par_for_each_mut(&mut out, fill);
-        }
-        PolyBatch::from_limbs(pb.context().clone(), batch, out, Domain::Coefficient)
+        let mut out = pb.clone();
+        out.to_coefficient();
+        out
     }
 
     /// Forward transform on the simulator: `L` fused batch kernels,
@@ -233,6 +208,24 @@ mod tests {
         assert_eq!(fwd.domain(), Domain::Evaluation);
         let back = plans.inverse_batch(&fwd);
         assert_eq!(back.limbs(), pb.limbs());
+    }
+
+    #[test]
+    fn executor_matches_compiled_matmul_reference() {
+        // The six-step functional executor and the per-limb compiled
+        // matmul reference must stay bit-identical limb by limb.
+        let (ctx, pb) = setup(7, 3, 4);
+        let plans = RnsNttPlans::standalone(&ctx, ModRed::Montgomery);
+        let fwd = plans.forward_batch(&pb);
+        for (i, plan) in plans.plans().iter().enumerate() {
+            let want = plan.forward_batch_reference(&pb.limbs()[i], pb.batch());
+            assert_eq!(fwd.limbs()[i], want, "limb {i}");
+        }
+        let back = plans.inverse_batch(&fwd);
+        for (i, plan) in plans.plans().iter().enumerate() {
+            let want = plan.inverse_batch_reference(&fwd.limbs()[i], pb.batch());
+            assert_eq!(back.limbs()[i], want, "limb {i}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::mat::ntt3::{Ntt3Config, Ntt3Plan};
 use crate::modred::ModRed;
-use cross_poly::NttTables;
+use cross_poly::{CooleyTukeyNtt, NttEngine, NttTables, SixStepNtt};
 use cross_tpu::{TpuGeneration, TpuSim};
 use std::sync::Arc;
 
@@ -83,6 +83,21 @@ pub fn best_plan(
     best.expect("at least one candidate").1
 }
 
+/// The default **functional** (host CPU) engine for `tables`: the
+/// six-step engine at degrees where its split amortizes
+/// ([`cross_poly::six_step::SIX_STEP_MIN_N`]), the radix-2 butterfly
+/// engine below. Both produce bit-reversed output, so the choice is
+/// invisible to callers — this mirrors the size dispatch inside
+/// [`cross_poly::six_step::forward_inplace`], as an explicit
+/// [`NttEngine`] for code that works over the trait.
+pub fn default_host_engine(tables: Arc<NttTables>) -> Box<dyn NttEngine> {
+    if tables.n() >= cross_poly::six_step::SIX_STEP_MIN_N {
+        Box::new(SixStepNtt::new(tables))
+    } else {
+        Box::new(CooleyTukeyNtt::new(tables))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +131,25 @@ mod tests {
         // The small-degree fallback of both entry points is the same split.
         assert_eq!(rc_candidates(1 << 6), vec![balanced_rc(1 << 6)]);
         assert_eq!(standalone_ntt_rc(1 << 6), balanced_rc(1 << 6));
+    }
+
+    #[test]
+    fn default_host_engine_dispatches_by_size() {
+        for (logn, want) in [(4u32, "radix2-cooley-tukey"), (8, "six-step")] {
+            let n = 1usize << logn;
+            let t = Arc::new(NttTables::new(
+                n,
+                primes::ntt_prime(28, n as u64, 0).unwrap(),
+            ));
+            let e = default_host_engine(t.clone());
+            assert_eq!(e.name(), want, "logn={logn}");
+            // Either engine matches the butterfly loop bit-for-bit.
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 5) % t.q()).collect();
+            let mut r2 = a.clone();
+            cross_poly::ntt::forward_inplace(&mut r2, &t);
+            assert_eq!(e.forward(&a), r2);
+            assert_eq!(e.inverse(&r2), a);
+        }
     }
 
     #[test]

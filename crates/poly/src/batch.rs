@@ -16,9 +16,9 @@
 //! [`RnsPoly`] operation to each polynomial independently — the
 //! equivalence the batched-vs-sequential property tests pin down.
 
-use crate::ntt;
 use crate::ring::Domain;
 use crate::rns_poly::{RnsContext, RnsPoly};
+use crate::six_step;
 use cross_math::modops::{add_mod, mul_mod, neg_mod, sub_mod};
 use cross_math::par;
 use std::sync::Arc;
@@ -207,7 +207,7 @@ impl PolyBatch {
     pub fn to_evaluation(&mut self) {
         if self.domain == Domain::Coefficient {
             let ctx = self.ctx.clone();
-            self.for_each_segment_mut(|i, seg| ntt::forward_inplace(seg, &ctx.tables()[i]));
+            self.for_each_segment_mut(|i, seg| six_step::forward_inplace(seg, &ctx.tables()[i]));
             self.domain = Domain::Evaluation;
         }
     }
@@ -216,7 +216,7 @@ impl PolyBatch {
     pub fn to_coefficient(&mut self) {
         if self.domain == Domain::Evaluation {
             let ctx = self.ctx.clone();
-            self.for_each_segment_mut(|i, seg| ntt::inverse_inplace(seg, &ctx.tables()[i]));
+            self.for_each_segment_mut(|i, seg| six_step::inverse_inplace(seg, &ctx.tables()[i]));
             self.domain = Domain::Coefficient;
         }
     }

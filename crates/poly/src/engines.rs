@@ -151,26 +151,47 @@ fn matmul_mod_rows(a: &[u64], b: &[u64], k: usize, n: usize, q: u64, row0: usize
 /// contiguous `u64` streaming instead of strided `u128` dot products —
 /// the layout the batch-major pipeline feeds.
 pub fn matmul_mod_par(a: &[u64], b: &[u64], m: usize, k: usize, n: usize, q: u64) -> Vec<u64> {
+    let mut out = vec![0u64; m * n];
+    matmul_mod_par_into(a, b, m, k, n, q, &mut out);
+    out
+}
+
+/// [`matmul_mod_par`] writing into a caller-provided buffer, so batch
+/// pipelines can ping-pong two scratch allocations instead of
+/// allocating per step.
+///
+/// # Panics
+/// Panics if any of the three shapes disagree with `m`, `k`, `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_mod_par_into(
+    a: &[u64],
+    b: &[u64],
+    m: usize,
+    k: usize,
+    n: usize,
+    q: u64,
+    out: &mut [u64],
+) {
     assert_eq!(a.len(), m * k, "lhs shape mismatch");
     assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
     if q > 1 << 32 {
         // Wide moduli would overflow the u64 per-product bound of the
         // blocked kernel; use the per-product u128 oracle instead.
-        return matmul_mod(a, b, m, k, n, q);
+        out.copy_from_slice(&matmul_mod(a, b, m, k, n, q));
+        return;
     }
-    let mut out = vec![0u64; m * n];
     // Below this many multiply-accumulates thread spawning dominates.
     const PAR_THRESHOLD: usize = 1 << 18;
     let workers = par::parallelism();
     if workers == 1 || m < 2 || m.saturating_mul(k).saturating_mul(n) < PAR_THRESHOLD {
-        matmul_mod_rows(a, b, k, n, q, 0, &mut out);
-        return out;
+        matmul_mod_rows(a, b, k, n, q, 0, out);
+        return;
     }
     let rows_per_block = m.div_ceil(workers);
-    par::par_chunks_mut(&mut out, rows_per_block * n, |blk, chunk| {
+    par::par_chunks_mut(out, rows_per_block * n, |blk, chunk| {
         matmul_mod_rows(a, b, k, n, q, blk * rows_per_block, chunk);
     });
-    out
 }
 
 /// `O(N²)` naive negacyclic transform — the oracle all engines and all
@@ -289,10 +310,11 @@ pub struct FourStepNtt {
     w_r: Vec<u64>,
     /// `T[k₁][c] = ψ^{(2k₁+1)·c}` (R×C)
     twiddle: Vec<u64>,
-    /// `W_C[c][k₂] = ψ^{2R·c·k₂}` (C×C)
-    w_c: Vec<u64>,
-    /// `V_C[k₂][c] = ψ^{-2R·k₂·c}` (C×C)
-    v_c: Vec<u64>,
+    /// `W_Cᵀ[k₂][c] = ψ^{2R·c·k₂}` (C×C) — step 4 runs on transposed
+    /// layouts, so the transposed matrix is the one precomputed.
+    w_c_t: Vec<u64>,
+    /// `V_Cᵀ[c][k₂] = ψ^{-2R·k₂·c}` (C×C), the step-4 undo.
+    v_c_t: Vec<u64>,
     /// `T⁻[k₁][c] = ψ^{-2·k₁·c}` (R×C)
     twiddle_inv: Vec<u64>,
     /// `V_R[r][k₁] = ψ^{-2C·k₁·r}` (R×R)
@@ -327,13 +349,13 @@ impl FourStepNtt {
                 twiddle_inv[k1 * c + cc] = tables.psi_inv_power(2 * k1 as u64 * cc as u64 % two_n);
             }
         }
-        let mut w_c = vec![0u64; c * c];
-        let mut v_c = vec![0u64; c * c];
+        let mut w_c_t = vec![0u64; c * c];
+        let mut v_c_t = vec![0u64; c * c];
         for cc in 0..c {
             for k2 in 0..c {
                 let e = 2 * r as u64 * cc as u64 % two_n * k2 as u64 % two_n;
-                w_c[cc * c + k2] = tables.psi_power(e);
-                v_c[k2 * c + cc] = tables.psi_inv_power(e);
+                w_c_t[k2 * c + cc] = tables.psi_power(e);
+                v_c_t[cc * c + k2] = tables.psi_inv_power(e);
             }
         }
         let mut v_r = vec![0u64; r * r];
@@ -356,8 +378,8 @@ impl FourStepNtt {
             c,
             w_r,
             twiddle,
-            w_c,
-            v_c,
+            w_c_t,
+            v_c_t,
             twiddle_inv,
             v_r,
             final_scale,
@@ -410,13 +432,7 @@ impl NttEngine for FourStepNtt {
         }
         // Step 4: row-wise cyclic C-point DFTs on the transposed layout:
         // Y^T = W_C^T @ X^T, i.e. yt[k2][k1] = Σ_c W_C[c][k2]·x2[k1][c].
-        let mut w_c_t = vec![0u64; c * c];
-        for cc in 0..c {
-            for k2 in 0..c {
-                w_c_t[k2 * c + cc] = self.w_c[cc * c + k2];
-            }
-        }
-        let yt = matmul_mod(&w_c_t, &xt, c, c, r, q);
+        let yt = matmul_mod(&self.w_c_t, &xt, c, c, r, q);
         // yt[k2][k1] = â[k1 + k2·R]: flattening yt row-major IS natural order.
         yt
     }
@@ -425,60 +441,55 @@ impl NttEngine for FourStepNtt {
     /// dimension — step 1 becomes `W_R @ [A₀ | A₁ | …]` (`R × C·batch`)
     /// and step 4 becomes `W_Cᵀ @ [X₀ᵀ | X₁ᵀ | …]` (`C × R·batch`), so
     /// both matrix products run once per batch instead of once per
-    /// polynomial. Bit-identical to looping [`NttEngine::forward`].
+    /// polynomial. The whole pipeline ping-pongs two `batch·N` scratch
+    /// buffers (no per-step allocation). Bit-identical to looping
+    /// [`NttEngine::forward`].
     fn forward_batch(&self, a: &[u64], batch: usize) -> Vec<u64> {
         let (r, c) = (self.r, self.c);
         let n = r * c;
         let q = self.tables.q();
         assert_eq!(a.len(), batch * n, "batch shape mismatch");
-        // Column-stack the batch: stk[rr][b·C + cc] = a_b[rr·C + cc].
         let cb = c * batch;
-        let mut stk = vec![0u64; r * cb];
+        let rb = r * batch;
+        let mut buf_a = vec![0u64; batch * n];
+        let mut buf_b = vec![0u64; batch * n];
+        // Column-stack the batch: buf_a[rr][b·C + cc] = a_b[rr·C + cc].
         for b in 0..batch {
             for rr in 0..r {
-                stk[rr * cb + b * c..rr * cb + b * c + c]
+                buf_a[rr * cb + b * c..rr * cb + b * c + c]
                     .copy_from_slice(&a[b * n + rr * c..b * n + rr * c + c]);
             }
         }
         // Step 1: one fused matmul over the C·batch streamed dimension.
-        let x = matmul_mod_par(&self.w_r, &stk, r, r, cb, q);
-        // Step 2: twiddles tile across the batch blocks of each row.
-        let mut x2 = vec![0u64; r * cb];
+        matmul_mod_par_into(&self.w_r, &buf_a, r, r, cb, q, &mut buf_b);
+        // Step 2: twiddles tile across the batch blocks of each row,
+        // in place on the matmul output.
         for k1 in 0..r {
             for b in 0..batch {
                 for cc in 0..c {
-                    x2[k1 * cb + b * c + cc] =
-                        mul_mod(x[k1 * cb + b * c + cc], self.twiddle[k1 * c + cc], q);
+                    let x = &mut buf_b[k1 * cb + b * c + cc];
+                    *x = mul_mod(*x, self.twiddle[k1 * c + cc], q);
                 }
             }
         }
         // Step 3: per-polynomial transpose into one C × R·batch matrix.
-        let rb = r * batch;
-        let mut xt = vec![0u64; c * rb];
         for b in 0..batch {
             for k1 in 0..r {
                 for cc in 0..c {
-                    xt[cc * rb + b * r + k1] = x2[k1 * cb + b * c + cc];
+                    buf_a[cc * rb + b * r + k1] = buf_b[k1 * cb + b * c + cc];
                 }
             }
         }
-        // Step 4: one fused matmul; W_Cᵀ built once for the whole batch.
-        let mut w_c_t = vec![0u64; c * c];
-        for cc in 0..c {
-            for k2 in 0..c {
-                w_c_t[k2 * c + cc] = self.w_c[cc * c + k2];
-            }
-        }
-        let yt = matmul_mod_par(&w_c_t, &xt, c, c, rb, q);
+        // Step 4: one fused matmul by the precomputed W_Cᵀ.
+        matmul_mod_par_into(&self.w_c_t, &buf_a, c, c, rb, q, &mut buf_b);
         // De-stack: out_b[k2·R + k1] = yt[k2][b·R + k1].
-        let mut out = vec![0u64; batch * n];
         for b in 0..batch {
             for k2 in 0..c {
-                out[b * n + k2 * r..b * n + k2 * r + r]
-                    .copy_from_slice(&yt[k2 * rb + b * r..k2 * rb + b * r + r]);
+                buf_a[b * n + k2 * r..b * n + k2 * r + r]
+                    .copy_from_slice(&buf_b[k2 * rb + b * r..k2 * rb + b * r + r]);
             }
         }
-        out
+        buf_a
     }
 
     /// Fused batched inverse (mirror of
@@ -489,47 +500,47 @@ impl NttEngine for FourStepNtt {
         let n = r * c;
         let q = self.tables.q();
         assert_eq!(a.len(), batch * n, "batch shape mismatch");
-        // Column-stack natural-order inputs as C × R·batch.
         let rb = r * batch;
-        let mut yt = vec![0u64; c * rb];
+        let cb = c * batch;
+        let mut buf_a = vec![0u64; batch * n];
+        let mut buf_b = vec![0u64; batch * n];
+        // Column-stack natural-order inputs as C × R·batch.
         for b in 0..batch {
             for k2 in 0..c {
-                yt[k2 * rb + b * r..k2 * rb + b * r + r]
+                buf_a[k2 * rb + b * r..k2 * rb + b * r + r]
                     .copy_from_slice(&a[b * n + k2 * r..b * n + k2 * r + r]);
             }
         }
-        let mut v_c_t = vec![0u64; c * c];
-        for k2 in 0..c {
-            for cc in 0..c {
-                v_c_t[cc * c + k2] = self.v_c[k2 * c + cc];
-            }
-        }
-        // Undo step 4 with one fused matmul over R·batch columns.
-        let zt = matmul_mod_par(&v_c_t, &yt, c, c, rb, q);
+        // Undo step 4 with one fused matmul (precomputed V_Cᵀ) over
+        // R·batch columns.
+        matmul_mod_par_into(&self.v_c_t, &buf_a, c, c, rb, q, &mut buf_b);
         // Transpose back per polynomial + inverse twiddle, column-stacked
         // as R × C·batch for the fused step-1 undo.
-        let cb = c * batch;
-        let mut z = vec![0u64; r * cb];
         for b in 0..batch {
             for cc in 0..c {
                 for k1 in 0..r {
-                    z[k1 * cb + b * c + cc] =
-                        mul_mod(zt[cc * rb + b * r + k1], self.twiddle_inv[k1 * c + cc], q);
+                    buf_a[k1 * cb + b * c + cc] = mul_mod(
+                        buf_b[cc * rb + b * r + k1],
+                        self.twiddle_inv[k1 * c + cc],
+                        q,
+                    );
                 }
             }
         }
-        let w = matmul_mod_par(&self.v_r, &z, r, r, cb, q);
+        matmul_mod_par_into(&self.v_r, &buf_a, r, r, cb, q, &mut buf_b);
         // De-stack + final scale.
-        let mut out = vec![0u64; batch * n];
         for b in 0..batch {
             for rr in 0..r {
                 for cc in 0..c {
-                    out[b * n + rr * c + cc] =
-                        mul_mod(w[rr * cb + b * c + cc], self.final_scale[rr * c + cc], q);
+                    buf_a[b * n + rr * c + cc] = mul_mod(
+                        buf_b[rr * cb + b * c + cc],
+                        self.final_scale[rr * c + cc],
+                        q,
+                    );
                 }
             }
         }
-        out
+        buf_a
     }
 
     fn inverse(&self, a: &[u64]) -> Vec<u64> {
@@ -542,13 +553,7 @@ impl NttEngine for FourStepNtt {
         // x2t = V_C^T? We have yt (C×R). Want z[k1][c] = Σ_{k2} y[k1][k2]·ψ^{-2R·k2·c}.
         // In transposed form: zt[c][k1] = Σ_{k2} v_c_t[c][k2] · yt[k2][k1]
         // where v_c_t[c][k2] = ψ^{-2R·k2·c} = v_c[k2][c].
-        let mut v_c_t = vec![0u64; c * c];
-        for k2 in 0..c {
-            for cc in 0..c {
-                v_c_t[cc * c + k2] = self.v_c[k2 * c + cc];
-            }
-        }
-        let zt = matmul_mod(&v_c_t, a, c, c, r, q);
+        let zt = matmul_mod(&self.v_c_t, a, c, c, r, q);
         // transpose back to R×C and apply inverse twiddle + 1/C scale later
         let mut z = vec![0u64; r * c];
         for cc in 0..c {

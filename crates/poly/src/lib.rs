@@ -7,7 +7,12 @@
 //! * the radix-2 Cooley–Tukey butterfly NTT (paper Alg. 3 / §F1) —
 //!   the algorithm GPUs favour and TPUs suffer under,
 //! * the 4-step matrix NTT (paper Fig. 10 row 1) — the decomposition
-//!   MAT later rewrites into the layout-invariant 3-step form.
+//!   MAT later rewrites into the layout-invariant 3-step form,
+//! * the Bailey six-step NTT ([`six_step`]) with Shoup/lazy-reduced
+//!   base cases ([`small_ntt`]) and in-place cache-aware transposes
+//!   ([`transpose`]) — the default *functional* engine on the host,
+//!   bit-identical to the radix-2 loop and several times faster at
+//!   bench sizes.
 //!
 //! All engines agree bit-for-bit (modulo output ordering, which is part
 //! of each engine's contract) and are property-tested against the
@@ -32,10 +37,14 @@ pub mod ntt;
 pub mod ring;
 pub mod rns_poly;
 pub mod sampling;
+pub mod six_step;
+pub mod small_ntt;
 pub mod tables;
+pub mod transpose;
 
 pub use batch::PolyBatch;
 pub use engines::{CooleyTukeyNtt, FourStepNtt, NaiveNtt, NttEngine, OutputOrder};
 pub use ring::Poly;
 pub use rns_poly::{RnsContext, RnsPoly};
+pub use six_step::{SixStepNtt, SixStepPlan};
 pub use tables::NttTables;

@@ -4,8 +4,8 @@
 //! (§II-A3): `L` limbs of degree-`N` residues that are processed
 //! independently — the limb-level parallelism every accelerator exploits.
 
-use crate::ntt;
 use crate::ring::Domain;
+use crate::six_step;
 use crate::tables::NttTables;
 use cross_math::modops::{add_mod, from_signed, mul_mod, neg_mod, sub_mod};
 use cross_math::rns::RnsBasis;
@@ -29,7 +29,22 @@ impl RnsContext {
             .iter()
             .map(|&q| Arc::new(NttTables::new(n, q)))
             .collect();
-        let basis = RnsBasis::new(moduli);
+        Self::with_tables(n, tables)
+    }
+
+    /// Builds a context over pre-built per-modulus tables, so several
+    /// contexts (CKKS levels, key-switching extensions) share one table
+    /// — and one cached six-step plan — per modulus instead of
+    /// rebuilding `O(N)` twiddle material per context.
+    ///
+    /// # Panics
+    /// Panics if `tables` is empty or any table's degree differs from `n`.
+    pub fn with_tables(n: usize, tables: Vec<Arc<NttTables>>) -> Self {
+        assert!(!tables.is_empty(), "context needs at least one modulus");
+        for t in &tables {
+            assert_eq!(t.n(), n, "table degree mismatch");
+        }
+        let basis = RnsBasis::new(tables.iter().map(|t| t.q()).collect());
         Self { n, basis, tables }
     }
 
@@ -141,11 +156,13 @@ impl RnsPoly {
         self.limbs.len()
     }
 
-    /// Converts all limbs to the evaluation domain.
+    /// Converts all limbs to the evaluation domain (six-step host
+    /// engine above its size threshold; bit-identical to the radix-2
+    /// loop either way).
     pub fn to_evaluation(&mut self) {
         if self.domain == Domain::Coefficient {
             for (limb, t) in self.limbs.iter_mut().zip(self.ctx.tables()) {
-                ntt::forward_inplace(limb, t);
+                six_step::forward_inplace(limb, t);
             }
             self.domain = Domain::Evaluation;
         }
@@ -155,7 +172,7 @@ impl RnsPoly {
     pub fn to_coefficient(&mut self) {
         if self.domain == Domain::Evaluation {
             for (limb, t) in self.limbs.iter_mut().zip(self.ctx.tables()) {
-                ntt::inverse_inplace(limb, t);
+                six_step::inverse_inplace(limb, t);
             }
             self.domain = Domain::Coefficient;
         }

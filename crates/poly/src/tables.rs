@@ -1,8 +1,10 @@
 //! Precomputed twiddle tables for the negacyclic NTT over one modulus.
 
+use crate::six_step::SixStepPlan;
 use cross_math::bitrev::bit_reverse;
 use cross_math::modops::{inv_mod, mul_mod, pow_mod};
 use cross_math::primes::negacyclic_psi;
+use std::sync::{Arc, OnceLock};
 
 /// All twiddle material for degree `N` over prime `q ≡ 1 (mod 2N)`.
 ///
@@ -25,6 +27,9 @@ pub struct NttTables {
     psi_rev: Vec<u64>,
     /// `ψ^{-bitrev(i)}` — butterfly twiddles for the inverse GS NTT.
     psi_inv_rev: Vec<u64>,
+    /// Lazily built six-step plan (base-case + fused twiddle tables),
+    /// shared by every holder of these tables.
+    six_step: OnceLock<Arc<SixStepPlan>>,
 }
 
 impl NttTables {
@@ -71,7 +76,17 @@ impl NttTables {
             psi_inv_pow,
             psi_rev,
             psi_inv_rev,
+            six_step: OnceLock::new(),
         }
+    }
+
+    /// The six-step plan for this `(N, q)` pair, built on first use and
+    /// cached — so every context sharing these tables (CKKS levels,
+    /// key-switching extensions) shares one set of Shoup twiddle
+    /// matrices.
+    pub fn six_step_plan(&self) -> &Arc<SixStepPlan> {
+        self.six_step
+            .get_or_init(|| Arc::new(SixStepPlan::new(self)))
     }
 
     /// Ring degree `N`.

@@ -1,0 +1,180 @@
+//! In-place cache-aware matrix transposes for the six-step NTT splits.
+//!
+//! The splits [`crate::six_step`] produces are always power-of-two
+//! `rows × cols` with one dimension dividing the other, so two
+//! primitives cover everything:
+//!
+//! * **square** — blocked tile swaps (`TILE`², 16×16), never leaving L1 for
+//!   the pair of tiles in flight;
+//! * **rectangular** — the GW18 square+remainder decomposition: treat
+//!   the matrix as a small grid of length-`min(rows,cols)` segments,
+//!   cycle-permute the segments in place (`O(min)` scratch — one
+//!   segment buffer plus a visited bitmap — instead of an `rows·cols`
+//!   copy), then transpose each `min × min` block with the square
+//!   kernel. For `rows > cols` the two phases run in the mirrored
+//!   order.
+
+/// Tile edge of the blocked square transpose: 16×16 `u64` tiles are
+/// 2 KiB, so the two tiles being swapped stay L1-resident.
+const TILE: usize = 16;
+
+/// Transposes the row-major `rows × cols` matrix in `a`, in place.
+///
+/// # Panics
+/// Panics if `a.len() != rows·cols` or either dimension is not a power
+/// of two (the six-step splits guarantee one dimension divides the
+/// other, which the rectangular decomposition relies on).
+pub fn transpose_inplace(a: &mut [u64], rows: usize, cols: usize) {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert!(
+        rows.is_power_of_two() && cols.is_power_of_two(),
+        "dimensions must be powers of two"
+    );
+    if rows == cols {
+        square_inplace(a, rows);
+    } else if rows < cols {
+        // rows × (m·rows): segments first — block j of the result is
+        // the transposed j-th column-block of the input.
+        let m = cols / rows;
+        permute_segments(a, rows, rows, m);
+        for block in a.chunks_exact_mut(rows * rows) {
+            square_inplace(block, rows);
+        }
+    } else {
+        // (m·cols) × cols: square phases first, then the segment
+        // permutation interleaves the transposed blocks.
+        let m = rows / cols;
+        for block in a.chunks_exact_mut(cols * cols) {
+            square_inplace(block, cols);
+        }
+        permute_segments(a, cols, m, cols);
+    }
+}
+
+/// Blocked in-place transpose of the `n × n` row-major matrix in `a`.
+fn square_inplace(a: &mut [u64], n: usize) {
+    debug_assert_eq!(a.len(), n * n);
+    let mut i0 = 0usize;
+    while i0 < n {
+        let imax = (i0 + TILE).min(n);
+        // Diagonal tile: swap its own upper triangle.
+        for i in i0..imax {
+            for j in (i + 1)..imax {
+                a.swap(i * n + j, j * n + i);
+            }
+        }
+        // Off-diagonal tile pairs (i0,j0) ↔ (j0,i0).
+        let mut j0 = i0 + TILE;
+        while j0 < n {
+            let jmax = (j0 + TILE).min(n);
+            for i in i0..imax {
+                for j in j0..jmax {
+                    a.swap(i * n + j, j * n + i);
+                }
+            }
+            j0 += TILE;
+        }
+        i0 += TILE;
+    }
+}
+
+/// Transposes the `p × s` grid of length-`seg` contiguous segments in
+/// place by following permutation cycles: grid cell `(i÷s, i mod s)`
+/// moves to `(i mod s, i÷s)`, i.e. segment `i → (i mod s)·p + i÷s`.
+/// Scratch is one segment buffer plus a visited bitmap.
+fn permute_segments(a: &mut [u64], seg: usize, p: usize, s: usize) {
+    if p <= 1 || s <= 1 {
+        return;
+    }
+    debug_assert_eq!(a.len(), seg * p * s);
+    let total = p * s;
+    let mut visited = vec![0u64; total.div_ceil(64)];
+    let mut buf = vec![0u64; seg];
+    for start in 0..total {
+        if visited[start / 64] >> (start % 64) & 1 == 1 {
+            continue;
+        }
+        // Walk the cycle backwards: fill slot `j` from its preimage
+        // `k` (the segment whose destination is `j`), so each slot is
+        // written exactly once after its old content moved out.
+        buf.copy_from_slice(&a[start * seg..(start + 1) * seg]);
+        let mut j = start;
+        loop {
+            visited[j / 64] |= 1 << (j % 64);
+            let k = (j % p) * s + j / p;
+            if k == start {
+                a[j * seg..(j + 1) * seg].copy_from_slice(&buf);
+                break;
+            }
+            a.copy_within(k * seg..(k + 1) * seg, j * seg);
+            j = k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(a: &[u64], rows: usize, cols: usize) -> Vec<u64> {
+        let mut out = vec![0u64; a.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = a[r * cols + c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_oracle_on_all_split_shapes() {
+        // Square, both rectangular orientations, degenerate 1×n / n×1,
+        // and the wide near-square shapes the six-step splits produce.
+        let shapes = [
+            (1usize, 1usize),
+            (1, 16),
+            (16, 1),
+            (2, 2),
+            (4, 4),
+            (16, 16),
+            (32, 32),
+            (64, 64),
+            (2, 4),
+            (4, 2),
+            (8, 16),
+            (16, 8),
+            (16, 32),
+            (32, 16),
+            (32, 64),
+            (64, 32),
+            (8, 64),
+            (64, 8),
+            (64, 128),
+            (128, 64),
+        ];
+        for (rows, cols) in shapes {
+            let a: Vec<u64> = (0..(rows * cols) as u64).map(|i| i * 7 + 1).collect();
+            let mut got = a.clone();
+            transpose_inplace(&mut got, rows, cols);
+            assert_eq!(got, oracle(&a, rows, cols), "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        for (rows, cols) in [(8usize, 32usize), (32, 8), (64, 64), (16, 128)] {
+            let a: Vec<u64> = (0..(rows * cols) as u64).collect();
+            let mut x = a.clone();
+            transpose_inplace(&mut x, rows, cols);
+            transpose_inplace(&mut x, cols, rows);
+            assert_eq!(x, a, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_wrong_length() {
+        let mut a = vec![0u64; 12];
+        transpose_inplace(&mut a, 4, 4);
+    }
+}

@@ -1,7 +1,9 @@
 //! NTT-throughput explorer: sweeps degrees, factorizations and TPU
 //! generations through the compiled batched pipeline and verifies the
 //! fused batch kernels bit-for-bit against the butterfly reference and
-//! the sequential loop at small degrees.
+//! the sequential loop at small degrees. Also races the default
+//! six-step host engine against the radix-2 butterfly (bit-identical,
+//! timed head-to-head) — the functional path every transform runs.
 //!
 //! Run with: `cargo run --release --example ntt_throughput`
 
@@ -12,6 +14,7 @@ use cross::math::primes;
 use cross::poly::{CooleyTukeyNtt, NttEngine, NttTables};
 use cross::tpu::{TpuGeneration, TpuSim};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     // Functional verification: the TPU-compiled NTT matches radix-2,
@@ -44,6 +47,35 @@ fn main() {
     assert_eq!(plan.inverse_batch_on_tpu(&mut sim, &fused, batch), ab);
     println!("N=2^10: compiled TPU NTT is bit-identical to the radix-2 reference;");
     println!("the fused batch-{batch} kernel is bit-identical to the sequential loop\n");
+
+    // Host engines: the default six-step engine (what every functional
+    // transform in the repo now runs through) vs the radix-2 butterfly,
+    // bit-identical and timed head-to-head.
+    println!("host engines (functional CPU path):");
+    for logn in [10u32, 12, 14] {
+        let n = 1usize << logn;
+        let q = primes::ntt_prime(28, n as u64, 0).unwrap();
+        let tables = Arc::new(NttTables::new(n, q));
+        let host = plan::default_host_engine(tables.clone());
+        let ct = CooleyTukeyNtt::new(tables);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 5) % q).collect();
+        assert_eq!(host.forward(&a), ct.forward(&a), "engines bit-identical");
+        let reps = (1 << 22) / n;
+        let time = |f: &dyn Fn() -> Vec<u64>| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / reps as f64 * 1e6
+        };
+        let (ct_us, host_us) = (time(&|| ct.forward(&a)), time(&|| host.forward(&a)));
+        println!(
+            "  N=2^{logn}: {} {host_us:.1} us vs radix2 {ct_us:.1} us ({:.2}x)",
+            host.name(),
+            ct_us / host_us
+        );
+    }
+    println!();
 
     // Throughput sweep: each degree compiles its standalone plan once,
     // then every generation charges the real fused batch kernel.

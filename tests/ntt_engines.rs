@@ -1,0 +1,173 @@
+//! Engine-equivalence properties for the six-step host NTT.
+//!
+//! The contract that lets `SixStepNtt` be the default functional
+//! engine: its forward/inverse transforms are **bit-identical** to the
+//! radix-2 butterfly (`CooleyTukeyNtt`, same bit-reversed output) and
+//! to the `O(N²)` `NaiveNtt` oracle (natural output, compared through
+//! the bit-reversal permutation) — across sizes (including the odd
+//! log-degrees whose GW18 transposes are non-square), prime widths,
+//! and batch shapes on both sides of the parallel threshold. The RNS
+//! executor built on it must in turn match the compiled TPU path on
+//! every generation.
+
+use cross::core::modred::ModRed;
+use cross::core::RnsNttPlans;
+use cross::math::bitrev::bit_reverse_in_place;
+use cross::math::primes;
+use cross::poly::rns_poly::{RnsContext, RnsPoly};
+use cross::poly::{CooleyTukeyNtt, NaiveNtt, NttEngine, NttTables, PolyBatch, SixStepNtt};
+use cross::tpu::{TpuGeneration, TpuSim};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tables(logn: u32, bits: u32) -> Arc<NttTables> {
+    let n = 1usize << logn;
+    Arc::new(NttTables::new(
+        n,
+        primes::ntt_prime(bits, n as u64, 0).unwrap(),
+    ))
+}
+
+fn residues(len: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 16) % q
+        })
+        .collect()
+}
+
+/// Deterministic sweep: every supported size (square and non-square
+/// six-step splits) at every prime width matches the butterfly engine
+/// bit for bit, forward and roundtrip.
+#[test]
+fn six_step_matches_radix2_all_sizes_and_primes() {
+    for bits in [20u32, 26, 28, 30] {
+        for logn in 6..=11u32 {
+            let t = tables(logn, bits);
+            let ss = SixStepNtt::new(t.clone());
+            let ct = CooleyTukeyNtt::new(t.clone());
+            let a = residues(t.n(), t.q(), (u64::from(bits) << 32) | u64::from(logn));
+            let fwd = ss.forward(&a);
+            assert_eq!(fwd, ct.forward(&a), "forward bits={bits} logn={logn}");
+            assert_eq!(ss.inverse(&fwd), a, "roundtrip bits={bits} logn={logn}");
+            assert_eq!(
+                ct.inverse(&fwd),
+                a,
+                "cross-engine roundtrip bits={bits} logn={logn}"
+            );
+        }
+    }
+}
+
+/// The naive `O(N²)` oracle in natural order, bit-reversed, equals the
+/// six-step output (kept to small degrees: the oracle is quadratic and
+/// this runs in debug).
+#[test]
+fn six_step_matches_naive_oracle() {
+    for logn in 6..=8u32 {
+        let t = tables(logn, 28);
+        let ss = SixStepNtt::new(t.clone());
+        let naive = NaiveNtt::new(t.clone());
+        let a = residues(t.n(), t.q(), 0x5EED ^ u64::from(logn));
+        let mut want = naive.forward(&a);
+        bit_reverse_in_place(&mut want);
+        assert_eq!(ss.forward(&a), want, "logn={logn}");
+    }
+}
+
+/// Batched transforms cross the parallel-dispatch threshold
+/// (`batch ≥ 2` and `batch·n ≥ 2^14`) without changing a single bit:
+/// the fused path must equal the sequential loop on both sides.
+#[test]
+fn six_step_batch_crosses_parallel_threshold() {
+    for (logn, batch) in [(6u32, 3usize), (8, 8), (11, 8)] {
+        let t = tables(logn, 28);
+        let n = t.n();
+        let ss = SixStepNtt::new(t.clone());
+        let a = residues(batch * n, t.q(), u64::from(logn) * 131 + batch as u64);
+        let fused = ss.forward_batch(&a, batch);
+        let looped: Vec<u64> = a.chunks(n).flat_map(|p| ss.forward(p)).collect();
+        assert_eq!(fused, looped, "forward logn={logn} batch={batch}");
+        assert_eq!(
+            ss.inverse_batch(&fused, batch),
+            a,
+            "roundtrip logn={logn} batch={batch}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn six_step_equivalence_random(
+        seed in any::<u64>(),
+        logn in 6u32..=10,
+        bits_idx in 0usize..4,
+    ) {
+        let bits = [20u32, 26, 28, 30][bits_idx];
+        let t = tables(logn, bits);
+        let ss = SixStepNtt::new(t.clone());
+        let ct = CooleyTukeyNtt::new(t.clone());
+        let a = residues(t.n(), t.q(), seed);
+        let fwd = ss.forward(&a);
+        prop_assert_eq!(&fwd, &ct.forward(&a));
+        prop_assert_eq!(&ss.inverse(&fwd), &a);
+    }
+
+    #[test]
+    fn six_step_batch_equivalence_random(
+        seed in any::<u64>(),
+        logn in 6u32..=9,
+        batch_idx in 0usize..3,
+    ) {
+        let batch = [1usize, 3, 8][batch_idx];
+        let t = tables(logn, 28);
+        let n = t.n();
+        let ss = SixStepNtt::new(t.clone());
+        let a = residues(batch * n, t.q(), seed);
+        let fused = ss.forward_batch(&a, batch);
+        let looped: Vec<u64> = a.chunks(n).flat_map(|p| ss.forward(p)).collect();
+        prop_assert_eq!(&fused, &looped);
+        prop_assert_eq!(&ss.inverse_batch(&fused, batch), &a);
+    }
+
+    /// The six-step executor behind `RnsNttPlans::forward_batch`
+    /// matches the compiled matmul kernels on the simulator, for every
+    /// TPU generation and its own prime chain.
+    #[test]
+    fn rns_executor_matches_tpu_path_all_generations(
+        seed in any::<u64>(),
+        batch in 1usize..4,
+    ) {
+        let n = 1usize << 7;
+        let moduli = primes::ntt_prime_chain(28, n as u64, 3).unwrap();
+        let ctx = Arc::new(RnsContext::new(n, moduli));
+        let polys: Vec<RnsPoly> = (0..batch)
+            .map(|b| {
+                let limbs: Vec<Vec<u64>> = ctx
+                    .moduli()
+                    .iter()
+                    .map(|&q| residues(n, q, seed.wrapping_add(b as u64 * 31)))
+                    .collect();
+                RnsPoly::from_limbs(ctx.clone(), limbs, cross::poly::ring::Domain::Coefficient)
+            })
+            .collect();
+        let pb = PolyBatch::from_polys(&polys);
+        let plans = RnsNttPlans::standalone(&ctx, ModRed::Montgomery);
+        let fwd = plans.forward_batch(&pb);
+        for gen in TpuGeneration::ALL {
+            let mut sim = TpuSim::new(gen);
+            let tpu = plans.forward_batch_on_tpu(&mut sim, &pb);
+            prop_assert_eq!(tpu.limbs(), fwd.limbs(), "forward {:?}", gen);
+            let mut sim = TpuSim::new(gen);
+            let back = plans.inverse_batch_on_tpu(&mut sim, &tpu);
+            prop_assert_eq!(back.limbs(), pb.limbs(), "roundtrip {:?}", gen);
+        }
+        prop_assert_eq!(plans.inverse_batch(&fwd).limbs(), pb.limbs());
+    }
+}
