@@ -14,7 +14,11 @@
 //!   fusion claim and the default host engine's speed, at the
 //!   acknowledged cost that a much slower runner than the baseline
 //!   machine can trip them — refresh `BENCH_baseline.json` on the CI
-//!   runner class if that happens.
+//!   runner class if that happens. The `serve_tenants` keys guard the
+//!   multi-tenant serving layer (ISSUE 8): `fairness_err` /
+//!   `fairness_bound` are deterministic completion counts; the
+//!   p50/p99 latency and `inv_occupancy` keys are wall-clock with the
+//!   same refresh remedy as `batched_ntt`.
 //! * **Warn-only** — every other wall-clock key: the stub's
 //!   fixed-window measurements on shared CI runners are indicative,
 //!   not statistically sound, so those regressions are surfaced for a
@@ -45,13 +49,14 @@ const WARN_RATIO: f64 = 1.5;
 const FAIL_RATIO: f64 = 1.25;
 
 /// Key prefixes held to the failing [`FAIL_RATIO`] gate.
-const GATED_PREFIXES: [&str; 6] = [
+const GATED_PREFIXES: [&str; 7] = [
     "batched_ntt/",
     "ntt_engines/six_step",
     "pod_table8/",
     "pod_table9/",
     "sched_model/",
     "opt_model/",
+    "serve_tenants/",
 ];
 
 fn gated(label: &str) -> bool {
@@ -139,6 +144,10 @@ fn main() {
         ("/six_step/", "/radix2_ct/", true),
         ("/six_step_fused/", "/mat3_fused/", true),
         ("/serve_multi/", "/single_drain/", false),
+        // DRR fairness: the light tenant's measured completion tail
+        // must beat (stay under) its pinned bound — both counts, not
+        // wall-clock, so this pair fails hard.
+        ("/fairness_err/", "/fairness_bound/", true),
     ];
     for (label, &ns) in &results {
         for (fused_tag, other_tag, gating) in pairs {

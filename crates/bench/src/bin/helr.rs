@@ -18,15 +18,38 @@
 //! `cross_sched::serve` loop with real (toy-parameter) ciphertexts,
 //! wait on every completion, and report requests/sec plus batch
 //! occupancy (DESIGN.md §8).
+//!
+//! `--serve-tenants` runs the multi-tenant soak instead: Zipf-skewed
+//! tenants with their own key material drive
+//! `cross_sched::serve_tenants` under a key-cache budget sized to
+//! thrash, reporting p50/p99 latency, occupancy, and key-residency
+//! traffic (DESIGN.md §11).
 
 use cross_baselines::devices::PAPER_HELR_MS_PER_ITER;
+use cross_bench::serve_tenants_smoke;
 use cross_bench::workloads::{helr_iteration, helr_params};
-use cross_bench::{banner, print_serve_smoke, serve_smoke};
+use cross_bench::{banner, print_serve_smoke, print_serve_tenants_smoke, serve_smoke};
 use cross_ckks::costs::ExecMode;
 use cross_sched::{cost_graph, PassManager, Scheduler};
 use cross_tpu::{PodSim, TpuGeneration};
 
 fn main() {
+    if std::env::args().any(|a| a == "--serve-tenants") {
+        banner("HELR multi-tenant soak: Zipf tenants, thrashing key cache");
+        let (workers, tenants, total) = (4, 4, 48);
+        let smoke = serve_tenants_smoke(TpuGeneration::V6e, 8, workers, tenants, total);
+        print_serve_tenants_smoke("helr --serve-tenants", workers, &smoke);
+        assert_eq!(smoke.failed, 0, "a healthy soak fails no ticket");
+        assert!(
+            smoke.key_misses >= tenants as u64,
+            "every tenant's keys admit cold at least once"
+        );
+        assert!(
+            smoke.occupancy >= 1.0,
+            "every op rides in a batch of at least itself"
+        );
+        return;
+    }
     if std::env::args().any(|a| a == "--serve") {
         banner("HELR serving smoke: multi-threaded loop, real ciphertexts");
         let (workers, clients, per_client) = (4, 4, 9);

@@ -119,6 +119,191 @@ pub fn print_serve_smoke(label: &str, workers: usize, clients: usize, smoke: &Se
     );
 }
 
+/// Outcome of one [`serve_tenants_smoke`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTenantsSmoke {
+    /// Tenants served (each with its own keyset and session).
+    pub tenants: usize,
+    /// Requests completed across all tenants (Zipf-skewed shares).
+    pub requests: usize,
+    /// Wall-clock requests per second through the loop.
+    pub requests_per_sec: f64,
+    /// Mean ops per fused batch; batches never mix tenants.
+    pub occupancy: f64,
+    /// Median submit→completion latency in seconds.
+    pub p50_s: f64,
+    /// 99th-percentile submit→completion latency in seconds.
+    pub p99_s: f64,
+    /// Switching-key residency misses (each billed a modeled
+    /// re-admission; the smoke's key-cache budget forces thrash).
+    pub key_misses: u64,
+    /// Keys evicted from the modeled residency budget.
+    pub key_evictions: u64,
+    /// Tickets that failed — zero on a healthy soak.
+    pub failed: u64,
+}
+
+/// Drives the multi-tenant `cross_sched::serve_tenants` loop with
+/// real (toy-parameter) ciphertexts under skewed traffic: `tenants`
+/// tenants get Zipf request shares summing to (about) `total`, each
+/// runs its own client thread submitting its deterministic
+/// `cross_sched::testutil::tenant_trace` op mix over its pinned base
+/// input, waits on every completion, and claims every result. The
+/// key-cache budget is set well below the tenants' combined key
+/// bytes, so switching keys thrash in and out of modeled residency —
+/// the billed re-admissions show up in `modeled_wall_s`, never in the
+/// results. Shared by `helr --serve-tenants` and the
+/// `serve_throughput` bench's `serve_tenants/*` soak keys.
+pub fn serve_tenants_smoke(
+    gen: TpuGeneration,
+    cores: u32,
+    workers: usize,
+    tenants: usize,
+    total: usize,
+) -> ServeTenantsSmoke {
+    use cross_ckks::{CkksContext, CkksParams};
+    use cross_sched::serve::{ServeConfig, ServeKeys};
+    use cross_sched::testutil::{
+        tenant_trace, trace_rotation_steps, zipf_shares, ChainOp, TrafficConfig,
+    };
+    use cross_sched::{serve_tenants, KeyRef, TenantId, TenantSpec};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    let ctx = CkksContext::new(CkksParams::toy(), 97);
+    let params = *ctx.params();
+    let ids: Vec<TenantId> = (1..=tenants as u64).collect();
+
+    // Deterministic skewed traffic: tenant 1 dominates, the tail
+    // trickles; each tenant's ops run over its own base input (top
+    // level), so the whole mix is valid by construction.
+    let base_scale = params.scale();
+    let moduli: Vec<f64> = ctx.q_moduli().iter().map(|&q| q as f64).collect();
+    let cfg = TrafficConfig::new(params.limbs, moduli, base_scale);
+    let trace = tenant_trace(7, &zipf_shares(&ids, total), &cfg);
+    let steps = trace_rotation_steps(&trace);
+    let mut per_tenant: BTreeMap<TenantId, Vec<ChainOp>> = BTreeMap::new();
+    for &(t, op) in &trace {
+        per_tenant.entry(t).or_default().push(op);
+    }
+
+    // Per-tenant key material: own keypair, relin + every rotation
+    // step the trace uses.
+    let keyed: Vec<_> = ids
+        .iter()
+        .map(|&t| {
+            let kp = ctx.generate_keys();
+            let mut keys = ServeKeys::new().with_relin(kp.relin.clone());
+            for &s in &steps {
+                keys = keys.with_rotation(s, ctx.generate_rotation_key(&kp.secret, s));
+            }
+            (t, kp, keys)
+        })
+        .collect();
+    // Size the residency budget below the combined key bytes so the
+    // cache must evict: roughly `tenants`-ish relin-equivalents for
+    // `tenants × (1 relin + |steps| rotation)` keys.
+    let relin_bytes = keyed[0].2.key_bytes(KeyRef::Relin).expect("relin set");
+    let budget = relin_bytes * (tenants as f64).max(1.0);
+    let specs: Vec<TenantSpec> = keyed
+        .iter()
+        .map(|(t, _, keys)| TenantSpec::new(*t, keys.clone()))
+        .collect();
+
+    let config = ServeConfig::new(gen, cores)
+        .with_workers(workers)
+        .with_batch_window(std::time::Duration::from_millis(2))
+        .with_key_cache_bytes(budget)
+        .with_optimize(true);
+
+    let latencies = Mutex::new(Vec::with_capacity(trace.len()));
+    let start = Instant::now();
+    let stats = serve_tenants(&ctx, specs, &config, |server| {
+        std::thread::scope(|s| {
+            for (t, kp, _) in &keyed {
+                let session = server.session(*t);
+                let ops = &per_tenant[t];
+                let (ctx, latencies) = (&ctx, &latencies);
+                s.spawn(move || {
+                    let msg: Vec<f64> = (0..ctx.slot_count())
+                        .map(|i| 0.2 + ((i as u64 + t) as f64 * 0.13).sin() * 0.25)
+                        .collect();
+                    let x = session.insert(ctx.encrypt(&msg, &kp.public));
+                    // Keep the tenant's whole share in flight, then
+                    // collect: submit→completion spans queueing, the
+                    // micro-batch window, and execution.
+                    let pending: Vec<_> = ops
+                        .iter()
+                        .map(|&op| {
+                            let t0 = Instant::now();
+                            let completion = match op {
+                                ChainOp::Add => session.add(x, x),
+                                ChainOp::Mult => session.mult(x, x),
+                                ChainOp::Rotate { steps } => session.rotate(x, steps),
+                                ChainOp::Rescale => session.rescale(x),
+                            }
+                            .expect("loop accepts while clients live");
+                            (t0, completion)
+                        })
+                        .collect();
+                    let mut lats = Vec::with_capacity(pending.len());
+                    for (t0, completion) in pending {
+                        let done = completion.wait().expect("valid requests complete");
+                        lats.push(t0.elapsed().as_secs_f64());
+                        session.take(done.id).expect("result stored");
+                    }
+                    session.take(x);
+                    latencies.lock().unwrap().extend(lats);
+                });
+            }
+        });
+        server.stats()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut lats = latencies.into_inner().unwrap();
+    assert_eq!(lats.len(), trace.len(), "every request completed");
+    lats.sort_by(|a, b| a.total_cmp(b));
+    ServeTenantsSmoke {
+        tenants,
+        requests: lats.len(),
+        requests_per_sec: lats.len() as f64 / elapsed,
+        occupancy: stats.occupancy(),
+        p50_s: percentile(&lats, 0.50),
+        p99_s: percentile(&lats, 0.99),
+        key_misses: stats.key_misses,
+        key_evictions: stats.key_evictions,
+        failed: stats.failed,
+    }
+}
+
+/// Percentile of an ascending-sorted sample (nearest-rank).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Prints one [`serve_tenants_smoke`] run in the shape the `helr`
+/// bin and CI logs share.
+pub fn print_serve_tenants_smoke(label: &str, workers: usize, smoke: &ServeTenantsSmoke) {
+    println!(
+        "{label}: {} requests over {} tenants, {workers} worker(s): {:.0} req/s, \
+         p50 {:.2} ms, p99 {:.2} ms, occupancy {:.2}, \
+         {} key misses ({} evictions), {} failed",
+        smoke.requests,
+        smoke.tenants,
+        smoke.requests_per_sec,
+        smoke.p50_s * 1e3,
+        smoke.p99_s * 1e3,
+        smoke.occupancy,
+        smoke.key_misses,
+        smoke.key_evictions,
+        smoke.failed
+    );
+}
+
 /// Prints a category breakdown as aligned percentages (the Fig. 12 /
 /// Tab. IX row shape). Accepts busy seconds or already-normalized
 /// fractions — rows are renormalized by their sum either way.

@@ -13,7 +13,7 @@ use crate::params::CkksParams;
 use cross_core::modred::ModRed;
 use cross_core::plan;
 use cross_core::shard::{ShardPlan, ShardStrategy};
-use cross_tpu::{Category, KernelReport, PodKernelReport, PodSim, TpuSim};
+use cross_tpu::{Category, KernelReport, PodKernelReport, PodSim, TpuGeneration, TpuSim};
 
 /// Chunks per 28-bit word on an 8-bit MXU.
 const K: usize = 4;
@@ -625,6 +625,27 @@ pub fn normalize_breakdown(acc: std::collections::BTreeMap<Category, f64>) -> Ve
 pub fn switching_key_bytes(params: &CkksParams, l: usize) -> f64 {
     let dnum = params.limbs.div_ceil(params.digit_limbs()).min(params.dnum);
     (dnum * 2 * (l + params.special_limbs()) * params.n * 4) as f64
+}
+
+/// Modeled seconds to (re-)admit one switching key into pod residency
+/// after a key-cache miss: the HBM DMA of `bytes` of key material plus
+/// the limb-shard scatter — the same two charges a keyed
+/// [`charge_op_pod`] pays for a non-resident key. A multi-tenant
+/// serving loop bills this once per miss instead of assuming every
+/// tenant's keys live in VMEM forever (switching keys are the dominant
+/// memory object; cf. the key cache in `cross_sched::keycache`).
+///
+/// Charged on a **fresh probe pod** so the estimate is pure: calling
+/// it never perturbs an accumulated trace, and the same
+/// `(gen, cores, bytes)` always yields the same figure.
+pub fn key_admit_s(gen: TpuGeneration, cores: u32, bytes: f64) -> f64 {
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    let mut pod = PodSim::new(gen, cores);
+    let hbm = pod.core(0).spec().hbm_seconds(bytes);
+    let scatter = pod.scatter(bytes, "key re-admit scatter");
+    hbm + scatter
 }
 
 /// Convenience: simulated latency (seconds) of the four backbone HE

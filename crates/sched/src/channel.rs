@@ -271,6 +271,78 @@ impl<T> Receiver<T> {
         out
     }
 
+    /// Takes up to `max` already-queued values without blocking — the
+    /// backlog-servicing primitive: a dispatcher holding undrained
+    /// requests polls its intake with this instead of parking on
+    /// [`recv_batch`](Self::recv_batch), so the backlog keeps flowing
+    /// even when no new submission arrives to wake it.
+    pub fn try_recv_batch(&self, max: usize) -> Vec<T> {
+        let mut st = self.shared.state.lock().unwrap();
+        let k = max.min(st.queue.len());
+        let out: Vec<T> = st.queue.drain(..k).collect();
+        if !out.is_empty() {
+            self.shared.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Like [`recv_batch_window`](Self::recv_batch_window), but the
+    /// gather window is **per-item**: after the first item arrives,
+    /// keep gathering until `max` items are queued or the earliest
+    /// `deadline_of(item)` over the queued items passes. With
+    /// deadlines set to `submitted_at + slo_window`, this is SLO-aware
+    /// micro-batching — an urgent request (short remaining budget)
+    /// dispatches the batch immediately instead of waiting out a fixed
+    /// window, while relaxed traffic still fills batches.
+    ///
+    /// A deadline already in the past dispatches whatever is queued at
+    /// once; the batch is always non-empty unless the channel closed
+    /// drained.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn recv_batch_deadline<F>(&self, max: usize, deadline_of: F) -> Vec<T>
+    where
+        F: Fn(&T) -> std::time::Instant,
+    {
+        assert!(max >= 1, "batch cap must be ≥ 1");
+        let max = max.min(self.shared.capacity);
+        let mut st = self.shared.state.lock().unwrap();
+        // Block for the first item (or the close).
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.senders == 0 {
+                return Vec::new();
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+        // Gather until the batch fills or the most urgent queued
+        // item's deadline passes. Same fine-grained poll as
+        // `recv_batch_window` (senders never signal `gather`).
+        let poll = std::time::Duration::from_micros(200);
+        while st.queue.len() < max && st.senders > 0 {
+            let deadline = st
+                .queue
+                .iter()
+                .map(&deadline_of)
+                .min()
+                .expect("non-empty queue");
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let step = (deadline - now).min(poll);
+            let (guard, _) = self.shared.gather.wait_timeout(st, step).unwrap();
+            st = guard;
+        }
+        let k = max.min(st.queue.len());
+        let out: Vec<T> = st.queue.drain(..k).collect();
+        self.shared.not_full.notify_all();
+        out
+    }
+
     /// Values currently queued.
     pub fn len(&self) -> usize {
         self.shared.state.lock().unwrap().queue.len()
@@ -448,6 +520,56 @@ mod tests {
         // The window expires on a quiet channel with senders alive.
         tx.send(99).unwrap();
         assert_eq!(rx.recv_batch_window(8, Duration::from_millis(10)), vec![99]);
+    }
+
+    #[test]
+    fn try_recv_batch_never_blocks() {
+        let (tx, rx) = bounded(8);
+        assert!(rx.try_recv_batch(4).is_empty());
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_recv_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv_batch(4), vec![4, 5]);
+        assert!(rx.try_recv_batch(4).is_empty());
+    }
+
+    #[test]
+    fn batch_deadline_dispatches_urgent_items_immediately() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = bounded(16);
+        // An already-expired deadline: take what is queued at once.
+        tx.send(1).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(rx.recv_batch_deadline(8, |_| Instant::now()), vec![1]);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // A full batch returns without waiting out a far deadline.
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_batch_deadline(4, |_| Instant::now() + Duration::from_secs(60)),
+            vec![0, 1, 2, 3]
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5), "did not wait");
+        // A relaxed deadline gathers a slow producer.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 10..13 {
+                    std::thread::sleep(Duration::from_millis(5));
+                    tx.send(i).unwrap();
+                }
+            });
+            let got = rx.recv_batch_deadline(3, |_| Instant::now() + Duration::from_secs(60));
+            assert_eq!(got, vec![10, 11, 12]);
+        });
+        // The most urgent item in the batch sets the dispatch time: a
+        // short per-item budget expires and the partial batch goes out.
+        tx.send(99u32).unwrap();
+        let t0 = Instant::now();
+        let got = rx.recv_batch_deadline(8, |_| t0 + Duration::from_millis(10));
+        assert_eq!(got, vec![99]);
     }
 
     #[test]

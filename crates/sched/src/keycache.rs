@@ -1,0 +1,334 @@
+//! Capacity-bounded LRU model of **switching-key residency** for the
+//! multi-tenant serving loop.
+//!
+//! Switching keys are the dominant memory object of CKKS serving: one
+//! hybrid key at Set-D top level is hundreds of megabytes
+//! ([`cross_ckks::costs::switching_key_bytes`]), and a server holding
+//! a relin key plus a rotation key per step for *every* tenant cannot
+//! keep them all chip-resident. This module models that budget the
+//! same way the cost model treats everything else — in modeled
+//! seconds, not host allocations:
+//!
+//! * every keyed [`crate::sched::FusedBatch`] names the one switching
+//!   key its ops share ([`KeyRef`], tenant-qualified by the serving
+//!   loop);
+//! * before executing the batch, the loop
+//!   [`touch`](KeyCache::touch)es that key. A **hit** costs nothing —
+//!   the key is resident and `charge_op_pod`'s per-op key traffic
+//!   already covers its reuse from fast memory. A **miss** bills the
+//!   re-admission ([`cross_ckks::costs::key_admit_s`]: the HBM DMA of
+//!   the key material plus the pod scatter) onto the dispatch's
+//!   modeled wall clock and admits the key, evicting
+//!   least-recently-used keys until the configured byte capacity
+//!   holds.
+//!
+//! The cache is a *residency model*: the functional executor always
+//! replays against host-resident key material, so eviction can never
+//! corrupt a result — it only makes the modeled schedule honestly
+//! slower for tenants whose keys went cold. Bit-exactness across
+//! evictions and re-admissions is pinned by `tests/serve_tenants.rs`.
+
+use crate::ir::HeOpKind;
+use crate::queue::TenantId;
+use cross_ckks::costs;
+use cross_tpu::TpuGeneration;
+use std::collections::BTreeMap;
+
+/// Which switching key an op (or a whole fused batch — members share
+/// it by construction) loads. Tenant-qualified at the cache boundary:
+/// two tenants' `Relin` keys are distinct cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KeyRef {
+    /// The relinearization/key-switching key (`Mult`, standalone
+    /// `KeySwitch`, `Bootstrap`).
+    Relin,
+    /// The rotation key for this step count (`Rotate`,
+    /// `HoistedRotate`).
+    Rotation(usize),
+}
+
+impl KeyRef {
+    /// The key `kind` loads, or `None` for un-keyed ops.
+    pub fn of(kind: HeOpKind) -> Option<KeyRef> {
+        match kind {
+            HeOpKind::Mult | HeOpKind::KeySwitch | HeOpKind::Bootstrap => Some(KeyRef::Relin),
+            HeOpKind::Rotate { steps } | HeOpKind::HoistedRotate { steps } => {
+                Some(KeyRef::Rotation(steps))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Lifetime counters of a [`KeyCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyCacheStats {
+    /// Touches that found the key resident.
+    pub hits: u64,
+    /// Touches that had to (re-)admit the key.
+    pub misses: u64,
+    /// Keys evicted to make room.
+    pub evictions: u64,
+    /// Total modeled re-admission seconds billed across all misses.
+    pub admit_s: f64,
+}
+
+impl KeyCacheStats {
+    /// Hit fraction over all touches (1.0 before any touch).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    bytes: f64,
+    last_used: u64,
+}
+
+/// LRU cache of `(tenant, key)` residency under a byte capacity, with
+/// memoized re-admission cost probes.
+#[derive(Debug, Clone)]
+pub struct KeyCache {
+    gen: TpuGeneration,
+    cores: u32,
+    capacity_bytes: f64,
+    entries: BTreeMap<(TenantId, KeyRef), Entry>,
+    resident_bytes: f64,
+    clock: u64,
+    stats: KeyCacheStats,
+    /// `key_admit_s` probes memoized by byte size (the charge is pure
+    /// and levels repeat, so the probe pod is built a handful of times
+    /// regardless of traffic volume).
+    admit_memo: BTreeMap<u64, f64>,
+}
+
+impl KeyCache {
+    /// A cache of `capacity_bytes` of key residency on a
+    /// `cores`-core pod of `gen` (the pod shape sets the miss cost).
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is not strictly positive.
+    pub fn new(gen: TpuGeneration, cores: u32, capacity_bytes: f64) -> Self {
+        assert!(capacity_bytes > 0.0, "key cache capacity must be positive");
+        Self {
+            gen,
+            cores,
+            capacity_bytes,
+            entries: BTreeMap::new(),
+            resident_bytes: 0.0,
+            clock: 0,
+            stats: KeyCacheStats::default(),
+            admit_memo: BTreeMap::new(),
+        }
+    }
+
+    /// Marks `(tenant, key)` used ahead of a keyed dispatch and
+    /// returns the modeled seconds the touch costs: `0.0` on a hit;
+    /// on a miss, the re-admission charge
+    /// ([`cross_ckks::costs::key_admit_s`] for `bytes` of key
+    /// material) after evicting least-recently-used keys until the
+    /// capacity holds. A key larger than the whole capacity still
+    /// admits (alone) — the server never refuses to serve, it just
+    /// pays the miss on every touch.
+    pub fn touch(&mut self, tenant: TenantId, key: KeyRef, bytes: f64) -> f64 {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&(tenant, key)) {
+            e.last_used = self.clock;
+            self.stats.hits += 1;
+            return 0.0;
+        }
+        while !self.entries.is_empty() && self.resident_bytes + bytes > self.capacity_bytes {
+            let coldest = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            let evicted = self.entries.remove(&coldest).expect("present");
+            self.resident_bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(
+            (tenant, key),
+            Entry {
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.resident_bytes += bytes;
+        let (gen, cores) = (self.gen, self.cores);
+        let admit = *self
+            .admit_memo
+            .entry(bytes.to_bits())
+            .or_insert_with(|| costs::key_admit_s(gen, cores, bytes));
+        self.stats.misses += 1;
+        self.stats.admit_s += admit;
+        admit
+    }
+
+    /// Whether `(tenant, key)` is currently resident.
+    pub fn contains(&self, tenant: TenantId, key: KeyRef) -> bool {
+        self.entries.contains_key(&(tenant, key))
+    }
+
+    /// Resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident key bytes.
+    pub fn resident_bytes(&self) -> f64 {
+        self.resident_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> f64 {
+        self.capacity_bytes
+    }
+
+    /// Resident fraction of capacity, in `[0, 1]` except for the
+    /// single-oversized-key case [`touch`](Self::touch) documents.
+    pub fn occupancy(&self) -> f64 {
+        self.resident_bytes / self.capacity_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> KeyCacheStats {
+        self.stats
+    }
+
+    /// Drops every key `tenant` has resident (session teardown);
+    /// returns how many were dropped. Not counted as evictions — the
+    /// tenant left, nothing was displaced.
+    pub fn evict_tenant(&mut self, tenant: TenantId) -> usize {
+        let doomed: Vec<(TenantId, KeyRef)> = self
+            .entries
+            .range((tenant, KeyRef::Relin)..=(tenant, KeyRef::Rotation(usize::MAX)))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &doomed {
+            let e = self.entries.remove(k).expect("present");
+            self.resident_bytes -= e.bytes;
+        }
+        doomed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: f64 = 100.0;
+
+    fn cache(capacity: f64) -> KeyCache {
+        KeyCache::new(TpuGeneration::V6e, 4, capacity)
+    }
+
+    #[test]
+    fn keyref_of_maps_keyed_kinds_only() {
+        assert_eq!(KeyRef::of(HeOpKind::Mult), Some(KeyRef::Relin));
+        assert_eq!(
+            KeyRef::of(HeOpKind::Rotate { steps: 3 }),
+            Some(KeyRef::Rotation(3))
+        );
+        assert_eq!(
+            KeyRef::of(HeOpKind::HoistedRotate { steps: 3 }),
+            Some(KeyRef::Rotation(3))
+        );
+        assert_eq!(KeyRef::of(HeOpKind::Add), None);
+        assert_eq!(KeyRef::of(HeOpKind::Rescale), None);
+    }
+
+    #[test]
+    fn hit_after_admit_is_free() {
+        let mut c = cache(KEY * 4.0);
+        let miss = c.touch(1, KeyRef::Relin, KEY);
+        assert!(miss > 0.0, "first touch pays admission");
+        let hit = c.touch(1, KeyRef::Relin, KEY);
+        assert_eq!(hit, 0.0, "resident key costs nothing");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().admit_s - miss).abs() < 1e-18);
+    }
+
+    #[test]
+    fn admit_cost_is_deterministic_and_memoized() {
+        let mut c = cache(KEY); // every touch of a new key evicts
+        let a = c.touch(1, KeyRef::Relin, KEY);
+        let b = c.touch(2, KeyRef::Relin, KEY);
+        let a2 = c.touch(1, KeyRef::Relin, KEY);
+        assert_eq!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_many_tenants() {
+        let mut c = cache(KEY * 3.0);
+        for tenant in 0..32 {
+            c.touch(tenant, KeyRef::Relin, KEY);
+            c.touch(tenant, KeyRef::Rotation(1), KEY);
+            assert!(c.resident_bytes() <= c.capacity_bytes());
+            assert!(c.occupancy() <= 1.0);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 64 - 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key() {
+        let mut c = cache(KEY * 2.0);
+        c.touch(1, KeyRef::Relin, KEY);
+        c.touch(2, KeyRef::Relin, KEY);
+        c.touch(1, KeyRef::Relin, KEY); // warm tenant 1 again
+        c.touch(3, KeyRef::Relin, KEY); // must displace tenant 2
+        assert!(c.contains(1, KeyRef::Relin));
+        assert!(!c.contains(2, KeyRef::Relin));
+        assert!(c.contains(3, KeyRef::Relin));
+    }
+
+    #[test]
+    fn oversized_key_admits_alone() {
+        let mut c = cache(KEY);
+        c.touch(1, KeyRef::Relin, KEY / 2.0);
+        let s = c.touch(1, KeyRef::Rotation(1), KEY * 10.0);
+        assert!(s > 0.0);
+        assert_eq!(c.len(), 1, "everything else evicted");
+        assert!(c.contains(1, KeyRef::Rotation(1)));
+    }
+
+    #[test]
+    fn evict_tenant_drops_only_that_tenant() {
+        let mut c = cache(KEY * 8.0);
+        c.touch(1, KeyRef::Relin, KEY);
+        c.touch(1, KeyRef::Rotation(1), KEY);
+        c.touch(1, KeyRef::Rotation(usize::MAX), KEY);
+        c.touch(2, KeyRef::Relin, KEY);
+        assert_eq!(c.evict_tenant(1), 3);
+        assert!(c.is_empty() || c.contains(2, KeyRef::Relin));
+        assert_eq!(c.len(), 1);
+        assert!((c.resident_bytes() - KEY).abs() < 1e-12);
+        assert_eq!(c.stats().evictions, 0, "teardown is not displacement");
+    }
+
+    #[test]
+    fn hit_rate_tracks_touches() {
+        let mut c = cache(KEY * 4.0);
+        assert_eq!(c.stats().hit_rate(), 1.0);
+        c.touch(1, KeyRef::Relin, KEY);
+        c.touch(1, KeyRef::Relin, KEY);
+        c.touch(1, KeyRef::Relin, KEY);
+        c.touch(2, KeyRef::Relin, KEY);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -65,22 +65,26 @@ pub mod channel;
 pub mod cost;
 pub mod exec;
 pub mod ir;
+pub mod keycache;
 pub mod opt;
 pub mod queue;
 pub mod record;
 pub mod sched;
 pub mod serve;
+pub mod session;
 #[doc(hidden)]
 pub mod testutil;
 
 pub use cost::{cost_graph, GraphCostReport, NodeCost};
 pub use exec::{execute_schedule, replay, ReplayKeys};
 pub use ir::{HeOp, HeOpKind, NodeId, OpGraph};
+pub use keycache::{KeyCache, KeyCacheStats, KeyRef};
 pub use opt::{Cse, HoistRotations, Pass, PassManager, Rewrite, RotationDedup, Waterline};
 pub use queue::{
     Backpressure, BatchStats, Completed, Completion, CtId, Dispatch, HeRequest, QueueFull,
-    RequestQueue, ServeError,
+    RequestQueue, ServeError, TenantId, DEFAULT_TENANT,
 };
 pub use record::{Recorder, Vct};
 pub use sched::{FusedBatch, Schedule, Scheduler};
 pub use serve::{Client, ServeConfig, ServeKeys, ServeStats, SubmitError};
+pub use session::{serve_tenants, Server, Session, TenantSpec};

@@ -1,5 +1,6 @@
-//! The serving front door: submit HE operations, drain scheduled
-//! batches, resolve tickets through completion slots.
+//! The serving front door: submit HE operations (per tenant), drain
+//! scheduled batches fairly across tenants, resolve tickets through
+//! completion slots.
 //!
 //! [`RequestQueue`] is the entry point of the ROADMAP's serving story.
 //! Producers [`submit`](RequestQueue::submit) operations and get back
@@ -13,6 +14,19 @@
 //! that is exactly what [`crate::serve`] does, wrapping one
 //! `RequestQueue` in a dispatcher thread behind
 //! [`crate::channel::bounded`].
+//!
+//! Since the multi-tenant PR the queue is **per-tenant** inside:
+//! every request belongs to a [`TenantId`] (the single-tenant entry
+//! points use [`DEFAULT_TENANT`]), each tenant has its own FIFO and a
+//! [`weight`](RequestQueue::set_weight), and
+//! [`pop_fair`](RequestQueue::pop_fair) interleaves tenants by
+//! **deficit round robin**: per round every backlogged tenant earns
+//! `weight` credits and pops that many requests, so a flooding tenant
+//! cannot starve a light one while service stays work-conserving.
+//! [`drain_fair`](RequestQueue::drain_fair) builds on it and forms
+//! **one dispatch per tenant** from the popped slice — fused batches
+//! never mix tenants, because a fused group shares one switching key
+//! and keys are tenant-owned.
 //!
 //! Three serving building blocks live here alongside the queue:
 //!
@@ -34,8 +48,8 @@
 //!
 //! # Examples
 //!
-//! Bounded submission with per-ticket completion slots (the serving
-//! loop drives this same surface from its dispatcher thread):
+//! Weighted-fair drain across two tenants — the flooding tenant gets
+//! its weight's share, not the whole window:
 //!
 //! ```
 //! use cross_ckks::params::ParamSet;
@@ -43,19 +57,20 @@
 //! use cross_tpu::TpuGeneration;
 //!
 //! let params = ParamSet::B.params();
-//! let mut queue = RequestQueue::bounded(2);
-//! let (t0, c0) = queue.submit_tracked(HeOpKind::Add, params.limbs);
-//! let _ = queue.submit(HeOpKind::Mult, params.limbs);
-//! // At capacity: try_submit rejects instead of growing the queue.
-//! assert!(queue.try_submit(HeOpKind::Add, params.limbs).is_err());
-//! assert!(c0.try_wait().is_none()); // nothing executed yet
-//!
+//! let mut queue = RequestQueue::new();
+//! queue.set_weight(1, 1);
+//! queue.set_weight(2, 1);
+//! for _ in 0..12 {
+//!     queue.submit_for(1, HeOpKind::Add, params.limbs); // heavy tenant
+//! }
+//! for _ in 0..2 {
+//!     queue.submit_for(2, HeOpKind::Add, params.limbs); // light tenant
+//! }
 //! let scheduler = Scheduler::new(TpuGeneration::V6e, 4);
-//! let dispatch = queue.drain(&scheduler, &params, 8);
-//! assert_eq!(dispatch.tickets[0].0, t0);
-//! // The drained dispatch carries the slot for the executor to fulfill.
-//! assert!(dispatch.completions[0].is_some());
-//! assert!(dispatch.completions[1].is_none()); // untracked submission
+//! let dispatches = queue.drain_fair(&scheduler, &params, 4);
+//! // Equal weights: the 4-op window splits 2/2, one dispatch each.
+//! assert_eq!(dispatches.len(), 2);
+//! assert!(dispatches.iter().all(|(_, d)| d.tickets.len() == 2));
 //! ```
 
 use crate::ir::{HeOpKind, NodeId, OpGraph};
@@ -68,6 +83,14 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Id of a ciphertext in a serving-loop store (see
 /// [`crate::serve::Client::insert`]).
 pub type CtId = u64;
+
+/// Id of a serving tenant (a session owning its own key material,
+/// ciphertexts, and fair-share weight — see [`crate::session`]).
+pub type TenantId = u64;
+
+/// The tenant the single-tenant entry points
+/// ([`RequestQueue::submit`], [`crate::serve::run`]) operate as.
+pub const DEFAULT_TENANT: TenantId = 0;
 
 /// What happens when a bounded intake is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,6 +139,12 @@ pub struct Completed {
     pub id: CtId,
     /// Cost of the batch the op was fused into.
     pub batch: BatchStats,
+    /// Global completion sequence number: the position of this ticket
+    /// in the serving loop's fulfillment order (0-based). Fairness
+    /// tests read it to check that a light tenant's requests complete
+    /// early instead of behind a heavy tenant's backlog. Zero when the
+    /// queue is driven synchronously without a serving loop.
+    pub seq: u64,
 }
 
 /// Why a serving ticket failed (validation errors — the loop never
@@ -125,8 +154,18 @@ pub enum ServeError {
     /// An operand id is not (or no longer) in the store. Wait on the
     /// producing ticket before consuming its result.
     UnresolvedOperand(CtId),
+    /// An operand id named a ciphertext that the bounded store evicted
+    /// (it was released and LRU pressure reclaimed it before this
+    /// request dispatched). [`retain`](crate::session::Session::retain)
+    /// operands that must outlive later requests.
+    Evicted(CtId),
+    /// An operand id names a ciphertext owned by a *different* tenant.
+    /// Cross-tenant reads are never served; only the offending ticket
+    /// fails.
+    CrossTenant(CtId),
     /// The server holds no switching key for the op (relinearization
-    /// key for `Mult`, per-step rotation key for `Rotate`).
+    /// key for `Mult`, per-step rotation key for `Rotate`) under the
+    /// submitting tenant's session.
     MissingKey(&'static str),
     /// The operands' level cannot host the op (`Mult`/`Rescale` need
     /// level ≥ 2; `ModDrop` targets must lie in `[1, level]`).
@@ -144,6 +183,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnresolvedOperand(id) => write!(f, "operand ciphertext {id} not in store"),
+            ServeError::Evicted(id) => write!(f, "operand ciphertext {id} was evicted"),
+            ServeError::CrossTenant(id) => {
+                write!(f, "operand ciphertext {id} belongs to another tenant")
+            }
             ServeError::MissingKey(op) => write!(f, "no switching key for {op}"),
             ServeError::InvalidLevel(op) => write!(f, "operand level cannot host {op}"),
             ServeError::ScaleMismatch => f.write_str("Add operand scales diverge"),
@@ -224,6 +267,9 @@ impl Completion {
 pub struct HeRequest {
     /// Ticket handed back to the submitter.
     pub ticket: u64,
+    /// The tenant the request belongs to ([`DEFAULT_TENANT`] for the
+    /// single-tenant entry points).
+    pub tenant: TenantId,
     /// Requested operator.
     pub kind: HeOpKind,
     /// Level the operands sit at.
@@ -247,22 +293,35 @@ pub struct Dispatch {
     pub completions: Vec<Option<Completion>>,
 }
 
-/// FIFO queue of HE operations awaiting batch formation, optionally
-/// bounded, with per-ticket completion slots.
+/// Per-tenant FIFO queues of HE operations awaiting batch formation,
+/// optionally bounded (total across tenants), with per-ticket
+/// completion slots and deficit-round-robin fair draining.
 #[derive(Debug, Clone)]
 pub struct RequestQueue {
-    pending: VecDeque<HeRequest>,
+    queues: BTreeMap<TenantId, VecDeque<HeRequest>>,
+    weights: BTreeMap<TenantId, u64>,
+    deficits: BTreeMap<TenantId, u64>,
+    /// Where the round robin resumes: the tenant whose turn the last
+    /// [`pop_fair`](Self::pop_fair) window cut short (it finishes its
+    /// remaining credits first), or the first tenant after the last
+    /// completed turn.
+    cursor: Option<TenantId>,
     completions: BTreeMap<u64, Completion>,
     next_ticket: u64,
+    pending: usize,
     capacity: usize,
 }
 
 impl Default for RequestQueue {
     fn default() -> Self {
         Self {
-            pending: VecDeque::new(),
+            queues: BTreeMap::new(),
+            weights: BTreeMap::new(),
+            deficits: BTreeMap::new(),
+            cursor: None,
             completions: BTreeMap::new(),
             next_ticket: 0,
+            pending: 0,
             capacity: usize::MAX,
         }
     }
@@ -274,8 +333,8 @@ impl RequestQueue {
         Self::default()
     }
 
-    /// A queue holding at most `capacity` pending operations —
-    /// submissions beyond that are refused
+    /// A queue holding at most `capacity` pending operations across
+    /// all tenants — submissions beyond that are refused
     /// ([`try_submit`](Self::try_submit) errors, [`submit`](Self::submit)
     /// panics). The serving loop pairs this bound with a
     /// [`Backpressure`] policy at its intake.
@@ -295,7 +354,26 @@ impl RequestQueue {
         self.capacity
     }
 
-    /// Enqueues one operation, returning its ticket.
+    /// Sets `tenant`'s fair-share weight (default 1): per
+    /// [`pop_fair`](Self::pop_fair) round a backlogged tenant pops up
+    /// to `weight` requests, so a tenant with weight 3 gets 3× the
+    /// service of a weight-1 tenant while both stay backlogged.
+    ///
+    /// # Panics
+    /// Panics if `weight == 0` (a zero-weight tenant would starve).
+    pub fn set_weight(&mut self, tenant: TenantId, weight: u64) {
+        assert!(weight >= 1, "tenant weight must be ≥ 1");
+        self.weights.insert(tenant, weight);
+    }
+
+    /// `tenant`'s fair-share weight (1 unless
+    /// [`set_weight`](Self::set_weight) changed it).
+    pub fn weight(&self, tenant: TenantId) -> u64 {
+        self.weights.get(&tenant).copied().unwrap_or(1)
+    }
+
+    /// Enqueues one operation for [`DEFAULT_TENANT`], returning its
+    /// ticket.
     ///
     /// # Panics
     /// Panics on [`HeOpKind::Input`] (inputs are implied by the
@@ -303,26 +381,51 @@ impl RequestQueue {
     /// [`bounded`](Self::bounded) queue is at capacity — callers that
     /// must handle a full queue use [`try_submit`](Self::try_submit).
     pub fn submit(&mut self, kind: HeOpKind, level: usize) -> u64 {
-        self.try_submit(kind, level)
+        self.submit_for(DEFAULT_TENANT, kind, level)
+    }
+
+    /// Enqueues one operation for `tenant`, returning its ticket.
+    ///
+    /// # Panics
+    /// Like [`submit`](Self::submit).
+    pub fn submit_for(&mut self, tenant: TenantId, kind: HeOpKind, level: usize) -> u64 {
+        self.try_submit_for(tenant, kind, level)
             .expect("queue at capacity (use try_submit to handle backpressure)")
     }
 
-    /// Enqueues one operation unless the queue is at capacity.
+    /// Enqueues one operation for [`DEFAULT_TENANT`] unless the queue
+    /// is at capacity.
     ///
     /// # Panics
     /// Panics on [`HeOpKind::Input`], like [`submit`](Self::submit).
     pub fn try_submit(&mut self, kind: HeOpKind, level: usize) -> Result<u64, QueueFull> {
+        self.try_submit_for(DEFAULT_TENANT, kind, level)
+    }
+
+    /// Enqueues one operation for `tenant` unless the queue is at
+    /// capacity.
+    ///
+    /// # Panics
+    /// Panics on [`HeOpKind::Input`], like [`submit`](Self::submit).
+    pub fn try_submit_for(
+        &mut self,
+        tenant: TenantId,
+        kind: HeOpKind,
+        level: usize,
+    ) -> Result<u64, QueueFull> {
         assert!(kind != HeOpKind::Input, "submit operations, not inputs");
-        if self.pending.len() >= self.capacity {
+        if self.pending >= self.capacity {
             return Err(QueueFull);
         }
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        self.pending.push_back(HeRequest {
+        self.queues.entry(tenant).or_default().push_back(HeRequest {
             ticket,
+            tenant,
             kind,
             level,
         });
+        self.pending += 1;
         Ok(ticket)
     }
 
@@ -353,19 +456,39 @@ impl RequestQueue {
         level: usize,
         completion: Completion,
     ) -> Result<u64, QueueFull> {
-        let ticket = self.try_submit(kind, level)?;
+        self.submit_with_completion_for(DEFAULT_TENANT, kind, level, completion)
+    }
+
+    /// Enqueues one operation for `tenant` attached to an existing
+    /// completion slot.
+    ///
+    /// # Panics
+    /// Panics on [`HeOpKind::Input`].
+    pub fn submit_with_completion_for(
+        &mut self,
+        tenant: TenantId,
+        kind: HeOpKind,
+        level: usize,
+        completion: Completion,
+    ) -> Result<u64, QueueFull> {
+        let ticket = self.try_submit_for(tenant, kind, level)?;
         self.completions.insert(ticket, completion);
         Ok(ticket)
     }
 
-    /// Pending operations.
+    /// Pending operations across all tenants.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending
+    }
+
+    /// Pending operations queued for `tenant`.
+    pub fn len_for(&self, tenant: TenantId) -> usize {
+        self.queues.get(&tenant).map_or(0, |q| q.len())
     }
 
     /// Whether nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending == 0
     }
 
     /// Detaches the completion slot registered for `ticket`, if any.
@@ -376,18 +499,77 @@ impl RequestQueue {
         self.completions.remove(&ticket)
     }
 
-    /// Pops up to `max_ops` requests and builds the op graph: each
+    /// Pops up to `max` requests by **deficit round robin** across the
+    /// backlogged tenants: on its turn each tenant with pending
+    /// requests earns [`weight`](Self::weight) credits and pops that
+    /// many requests FIFO; turns repeat round robin (ascending
+    /// [`TenantId`], wrapping) until `max` requests are popped or
+    /// every queue is empty. A turn the window cuts short is
+    /// *resumed* — the next call starts at that tenant with its
+    /// remaining credits — so a light tenant's share survives window
+    /// boundaries and no weight assignment can starve anyone. All
+    /// carried credit and the resume position reset when the queue
+    /// fully drains: credits never hoard across idle periods.
+    ///
+    /// With a single tenant this is plain FIFO. Deterministic: the
+    /// pop sequence is a pure function of the submission/weight
+    /// history.
+    pub fn pop_fair(&mut self, max: usize) -> Vec<HeRequest> {
+        let mut out = Vec::new();
+        while out.len() < max && self.pending > 0 {
+            // One round: backlogged tenants ascending, rotated so the
+            // round starts at the resume cursor.
+            let mut round: Vec<TenantId> = self
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            if let Some(cursor) = self.cursor {
+                let start = round.iter().position(|&t| t >= cursor).unwrap_or(0);
+                round.rotate_left(start);
+            }
+            for tenant in round {
+                if out.len() >= max {
+                    break;
+                }
+                // A cut turn resumes with its remaining credits; a
+                // fresh turn earns the tenant's weight.
+                let credits = self
+                    .deficits
+                    .remove(&tenant)
+                    .unwrap_or_else(|| self.weight(tenant));
+                let queue = self.queues.get_mut(&tenant).expect("backlogged above");
+                let take = (credits as usize).min(queue.len()).min(max - out.len());
+                out.extend(queue.drain(..take));
+                self.pending -= take;
+                if !queue.is_empty() && credits > take as u64 {
+                    // The window cut this turn short: resume it (with
+                    // the unused credit) at the next call.
+                    self.deficits.insert(tenant, credits - take as u64);
+                    self.cursor = Some(tenant);
+                } else {
+                    // Turn complete — the robin moves on.
+                    self.cursor = Some(tenant + 1);
+                }
+            }
+        }
+        if self.pending == 0 {
+            self.deficits.clear();
+            self.cursor = None;
+        }
+        out
+    }
+
+    /// Builds the op graph for an already-popped request slice: each
     /// request gets fresh input node(s) at its level plus one batch-1
     /// op node (the scheduler does the merging). Input nodes are
-    /// created per ticket in pop order, operand-major — the order an
+    /// created per ticket in slice order, operand-major — the order an
     /// executor's `inputs` slice must follow.
-    pub fn form_graph(&mut self, max_ops: usize) -> (OpGraph, Vec<(u64, NodeId)>) {
+    pub fn graph_of(requests: &[HeRequest]) -> (OpGraph, Vec<(u64, NodeId)>) {
         let mut graph = OpGraph::new();
-        let mut tickets = Vec::new();
-        while tickets.len() < max_ops {
-            let Some(req) = self.pending.pop_front() else {
-                break;
-            };
+        let mut tickets = Vec::with_capacity(requests.len());
+        for req in requests {
             let ins: Vec<NodeId> = (0..req.kind.arity())
                 .map(|_| graph.input(req.level))
                 .collect();
@@ -397,27 +579,29 @@ impl RequestQueue {
         (graph, tickets)
     }
 
-    /// Drains up to `max_ops` pending operations and schedules them.
-    /// The [`Dispatch`] carries each popped ticket's completion slot
-    /// (detached from the queue) for the executor to fulfill.
-    ///
-    /// When the scheduler has [`Scheduler::optimize`] set, the drained
-    /// graph first runs through the standard optimizer pipeline
-    /// ([`crate::opt::PassManager::standard`] on the scheduler's pod
-    /// and mode) and tickets are remapped onto the rewritten graph —
-    /// ticket values are bit-exact either way, since every ticket node
-    /// is a sink of the drained graph.
-    pub fn drain(
-        &mut self,
+    /// Pops up to `max_ops` requests ([`pop_fair`](Self::pop_fair))
+    /// and builds the op graph — see [`graph_of`](Self::graph_of) for
+    /// the wiring contract.
+    pub fn form_graph(&mut self, max_ops: usize) -> (OpGraph, Vec<(u64, NodeId)>) {
+        let requests = self.pop_fair(max_ops);
+        Self::graph_of(&requests)
+    }
+
+    /// Schedules an already-popped request slice with its detached
+    /// completion slots: graph formation, the optional optimizer
+    /// pipeline with ticket remapping, and batch formation — the
+    /// shared engine behind [`drain`](Self::drain) and
+    /// [`drain_fair`](Self::drain_fair), public so a serving loop that
+    /// resolves operands *between* popping and scheduling (to surface
+    /// evictions as per-ticket errors) can drive it directly.
+    pub fn dispatch_requests(
+        requests: &[HeRequest],
+        completions: Vec<Option<Completion>>,
         scheduler: &Scheduler,
         params: &CkksParams,
-        max_ops: usize,
     ) -> Dispatch {
-        let (mut graph, mut tickets) = self.form_graph(max_ops);
-        let completions = tickets
-            .iter()
-            .map(|&(t, _)| self.take_completion(t))
-            .collect();
+        assert_eq!(requests.len(), completions.len(), "one slot per ticket");
+        let (mut graph, mut tickets) = Self::graph_of(requests);
         if scheduler.optimize {
             let pm = PassManager::standard(scheduler.gen, scheduler.cores, scheduler.mode);
             let rw = pm.run(&graph, params);
@@ -433,6 +617,68 @@ impl RequestQueue {
             tickets,
             completions,
         }
+    }
+
+    /// Drains up to `max_ops` pending operations and schedules them as
+    /// **one** dispatch. The [`Dispatch`] carries each popped ticket's
+    /// completion slot (detached from the queue) for the executor to
+    /// fulfill.
+    ///
+    /// When the scheduler has [`Scheduler::optimize`] set, the drained
+    /// graph first runs through the standard optimizer pipeline
+    /// ([`crate::opt::PassManager::standard`] on the scheduler's pod
+    /// and mode) and tickets are remapped onto the rewritten graph —
+    /// ticket values are bit-exact either way, since every ticket node
+    /// is a sink of the drained graph.
+    ///
+    /// With multiple tenants queued, the merged graph can fuse ops
+    /// *across* tenants — only correct when every tenant shares one
+    /// keyset. Tenant-owned keys require
+    /// [`drain_fair`](Self::drain_fair).
+    pub fn drain(
+        &mut self,
+        scheduler: &Scheduler,
+        params: &CkksParams,
+        max_ops: usize,
+    ) -> Dispatch {
+        let requests = self.pop_fair(max_ops);
+        let completions = requests
+            .iter()
+            .map(|r| self.take_completion(r.ticket))
+            .collect();
+        Self::dispatch_requests(&requests, completions, scheduler, params)
+    }
+
+    /// Drains up to `max_ops` operations by deficit round robin and
+    /// schedules **one dispatch per tenant** (ascending tenant id,
+    /// requests in pop order within each): fused batches never mix
+    /// tenants, so each dispatch executes under its own tenant's
+    /// switching keys while the window's service split still follows
+    /// the tenants' weights.
+    pub fn drain_fair(
+        &mut self,
+        scheduler: &Scheduler,
+        params: &CkksParams,
+        max_ops: usize,
+    ) -> Vec<(TenantId, Dispatch)> {
+        let popped = self.pop_fair(max_ops);
+        let mut by_tenant: BTreeMap<TenantId, Vec<HeRequest>> = BTreeMap::new();
+        for req in popped {
+            by_tenant.entry(req.tenant).or_default().push(req);
+        }
+        by_tenant
+            .into_iter()
+            .map(|(tenant, requests)| {
+                let completions = requests
+                    .iter()
+                    .map(|r| self.take_completion(r.ticket))
+                    .collect();
+                (
+                    tenant,
+                    Self::dispatch_requests(&requests, completions, scheduler, params),
+                )
+            })
+            .collect()
     }
 }
 
@@ -527,6 +773,7 @@ mod tests {
                 wall_s: 1e-3,
                 per_op_s: 5e-4,
             },
+            seq: 0,
         };
         slot.fulfill(Ok(done));
         assert_eq!(c.wait().unwrap().id, 42);
@@ -553,5 +800,85 @@ mod tests {
                 Err(ServeError::MissingKey("Rotate"))
             );
         });
+    }
+
+    #[test]
+    fn pop_fair_splits_a_window_by_weight() {
+        let mut q = RequestQueue::new();
+        q.set_weight(1, 3);
+        q.set_weight(2, 1);
+        for _ in 0..12 {
+            q.submit_for(1, HeOpKind::Add, 4);
+        }
+        for _ in 0..12 {
+            q.submit_for(2, HeOpKind::Add, 4);
+        }
+        // Both backlogged: an 8-op window splits 6/2 by the 3:1 weights.
+        let popped = q.pop_fair(8);
+        let heavy = popped.iter().filter(|r| r.tenant == 1).count();
+        assert_eq!((heavy, popped.len() - heavy), (6, 2));
+        assert_eq!(q.len(), 16);
+    }
+
+    #[test]
+    fn pop_fair_is_work_conserving_when_a_tenant_drains() {
+        let mut q = RequestQueue::new();
+        for _ in 0..10 {
+            q.submit_for(1, HeOpKind::Add, 4);
+        }
+        q.submit_for(2, HeOpKind::Add, 4);
+        // Tenant 2 has one request; tenant 1 absorbs the rest of the
+        // window instead of slots going idle.
+        let popped = q.pop_fair(8);
+        assert_eq!(popped.len(), 8);
+        assert_eq!(popped.iter().filter(|r| r.tenant == 2).count(), 1);
+    }
+
+    #[test]
+    fn pop_fair_resumes_cut_turns_across_windows() {
+        let mut q = RequestQueue::new();
+        q.set_weight(1, 4);
+        q.set_weight(2, 4);
+        for _ in 0..12 {
+            q.submit_for(1, HeOpKind::Add, 4);
+            q.submit_for(2, HeOpKind::Add, 4);
+        }
+        // Every window of 6 cuts one tenant's 4-credit turn short; the
+        // cut turn resumes (with its remaining credits) at the next
+        // window, so the robin keeps rotating instead of the low-id
+        // tenant winning every window's front slot.
+        let t1 = |w: &[HeRequest]| w.iter().filter(|r| r.tenant == 1).count();
+        let splits: Vec<(usize, usize)> = (0..4)
+            .map(|_| {
+                let w = q.pop_fair(6);
+                (t1(&w), w.len() - t1(&w))
+            })
+            .collect();
+        assert_eq!(splits, [(4, 2), (4, 2), (2, 4), (2, 4)]);
+        // Equal weights ⇒ equal service once the windows amortize.
+        let served_1: usize = splits.iter().map(|s| s.0).sum();
+        let served_2: usize = splits.iter().map(|s| s.1).sum();
+        assert_eq!(served_1, served_2);
+    }
+
+    #[test]
+    fn drain_fair_forms_one_dispatch_per_tenant() {
+        let params = ParamSet::B.params();
+        let mut q = RequestQueue::new();
+        for _ in 0..4 {
+            q.submit_for(7, HeOpKind::Rotate { steps: 1 }, params.limbs);
+            q.submit_for(9, HeOpKind::Rotate { steps: 1 }, params.limbs);
+        }
+        let s = Scheduler::new(TpuGeneration::V6e, 4);
+        let dispatches = q.drain_fair(&s, &params, 8);
+        assert_eq!(dispatches.len(), 2);
+        for (tenant, d) in &dispatches {
+            assert!([7, 9].contains(tenant));
+            assert_eq!(d.tickets.len(), 4);
+            // Same-step rotations fuse within the tenant's dispatch —
+            // never across tenants (each dispatch is its own graph).
+            assert_eq!(d.schedule.batches.len(), 1);
+            assert_eq!(d.schedule.batches[0].ops, 4);
+        }
     }
 }

@@ -1,20 +1,19 @@
 //! A registry-free multi-threaded serving loop over the scheduler —
 //! the CROSS stack's request/response pipeline.
 //!
-//! [`run`] owns a [`RequestQueue`] behind a bounded
-//! [`crate::channel`] and executes it with scoped threads
-//! (no `tokio` exists in the offline image — DESIGN.md §5 and §8):
+//! [`run`] is the single-tenant front door: it registers one
+//! [`crate::queue::DEFAULT_TENANT`] with the multi-tenant engine in
+//! [`crate::session`] and hands the closure a [`Client`]. The engine
+//! executes with scoped threads (no `tokio` exists in the offline
+//! image — DESIGN.md §5, §8 and §11):
 //!
 //! * **clients** (any threads inside the closure passed to [`run`])
 //!   insert ciphertexts into a shared store and
 //!   [`submit`](Client::submit) operations over store ids, getting a
 //!   [`Completion`] handle per ticket;
-//! * a **dispatcher** thread pops submission bursts off the channel
-//!   ([`crate::channel::Receiver::recv_batch`] — whatever queued while
-//!   the previous batch was in flight), validates them, forms batches
-//!   with the existing [`Scheduler`] through
-//!   [`RequestQueue::drain`], and hands each
-//!   [`Dispatch`](crate::queue::Dispatch) to the workers;
+//! * a **dispatcher** thread pops submission bursts off a bounded
+//!   [`crate::channel`], validates them, forms batches with the
+//!   existing [`Scheduler`], and hands each dispatch to the workers;
 //! * **worker** threads execute dispatches through
 //!   [`crate::exec::execute_schedule`] against the batched evaluator
 //!   (whose kernels fan out over `cross_math::par`), store each result
@@ -26,11 +25,21 @@
 //! [`ServeConfig::policy`] picks between blocking the producer
 //! ([`Backpressure::Block`]) and handing the request back
 //! ([`Backpressure::Reject`], surfaced as [`SubmitError::QueueFull`]).
+//! The ciphertext store is bounded too
+//! ([`ServeConfig::store_capacity`]): unclaimed results are evicted
+//! least-recently-used under pressure, and a request whose operand
+//! was evicted fails its own ticket with
+//! [`crate::queue::ServeError::Evicted`] — never a wrong result.
 //!
 //! Functional results are **bit-exact** with eager
-//! [`Evaluator`] calls regardless of worker count or batch formation —
-//! that is the batched operators' equivalence contract, pinned
-//! end-to-end by `tests/serve_model.rs`.
+//! [`cross_ckks::Evaluator`] calls regardless of worker count or
+//! batch formation — that is the batched operators' equivalence
+//! contract, pinned end-to-end by `tests/serve_model.rs` and
+//! `tests/serve_tenants.rs`.
+//!
+//! For per-tenant sessions, tenant-owned keys behind the LRU
+//! [`crate::keycache::KeyCache`], fair scheduling, and admission
+//! quotas, use [`crate::session::serve_tenants`] directly.
 //!
 //! # Examples
 //!
@@ -65,24 +74,21 @@
 //! assert!(occupancy >= 1.0);
 //! ```
 
-use crate::channel::{self, Receiver, Sender, TrySendError};
-use crate::exec::{execute_schedule, ReplayKeys};
-use crate::ir::{HeOpKind, NodeId, OpGraph};
-use crate::queue::{
-    Backpressure, BatchStats, Completed, Completion, CtId, RequestQueue, ServeError,
-};
-use crate::sched::{Schedule, Scheduler};
+use crate::exec::ReplayKeys;
+use crate::ir::HeOpKind;
+use crate::keycache::KeyRef;
+use crate::queue::{Backpressure, Completion, CtId, ServeError, DEFAULT_TENANT};
+use crate::sched::Scheduler;
+use crate::session::{self, Session};
 use cross_ckks::costs::ExecMode;
-use cross_ckks::{Ciphertext, CkksContext, Evaluator, SwitchingKey};
+use cross_ckks::{Ciphertext, CkksContext, SwitchingKey};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
-/// The switching keys a server holds (owned — shared by reference
-/// across the worker threads). The loop validates every request
-/// against this set before queueing, so workers never panic on a
-/// missing key: the ticket fails with [`ServeError::MissingKey`]
-/// instead.
+/// The switching keys a tenant owns (the loop shares them by
+/// reference across the worker threads). The dispatcher validates
+/// every request against the submitting tenant's set before queueing,
+/// so workers never panic on a missing key: the ticket fails with
+/// [`ServeError::MissingKey`] instead.
 #[derive(Debug, Clone, Default)]
 pub struct ServeKeys {
     relin: Option<SwitchingKey>,
@@ -107,7 +113,16 @@ impl ServeKeys {
         self
     }
 
-    fn replay(&self) -> ReplayKeys<'_> {
+    /// Bytes of the key `key` names, if this set holds it — what the
+    /// [`crate::keycache::KeyCache`] charges residency against.
+    pub fn key_bytes(&self, key: KeyRef) -> Option<f64> {
+        match key {
+            KeyRef::Relin => self.relin.as_ref().map(|k| k.bytes() as f64),
+            KeyRef::Rotation(steps) => self.rotation.get(&steps).map(|k| k.bytes() as f64),
+        }
+    }
+
+    pub(crate) fn replay(&self) -> ReplayKeys<'_> {
         let mut keys = ReplayKeys::new();
         if let Some(k) = &self.relin {
             keys = keys.with_relin(k);
@@ -118,7 +133,7 @@ impl ServeKeys {
         keys
     }
 
-    fn check(&self, kind: HeOpKind) -> Result<(), ServeError> {
+    pub(crate) fn check(&self, kind: HeOpKind) -> Result<(), ServeError> {
         match kind {
             HeOpKind::Mult if self.relin.is_none() => Err(ServeError::MissingKey(kind.label())),
             HeOpKind::Rotate { steps } | HeOpKind::HoistedRotate { steps }
@@ -141,8 +156,9 @@ pub struct ServeConfig {
     pub cores: u32,
     /// Worker threads executing dispatches (≥ 1).
     pub workers: usize,
-    /// Most requests the dispatcher folds into one dispatch (the
-    /// `max_ops` it drains per cycle).
+    /// Most requests one deficit-round-robin scheduling window pops
+    /// (the `max_ops` drained per dispatcher cycle, split across
+    /// tenants by weight when several are backlogged).
     pub drain_max: usize,
     /// Most submissions queued at the intake before backpressure.
     pub capacity: usize,
@@ -165,12 +181,35 @@ pub struct ServeConfig {
     ///
     /// [`drain_max`]: ServeConfig::drain_max
     pub batch_window: std::time::Duration,
+    /// Per-request latency objective. When set it replaces
+    /// [`batch_window`](ServeConfig::batch_window) with deadline-driven
+    /// gathering: each batch dispatches the moment the *oldest* queued
+    /// request's deadline (`submitted_at + slo`) arrives, so early
+    /// requests never wait a full window on an idle loop while late
+    /// arrivals still join the batch for free.
+    pub slo: Option<std::time::Duration>,
+    /// Most ciphertexts the shared store holds before LRU-evicting
+    /// unpinned entries (client inputs are pinned until
+    /// [`Session::release`]d or taken; results arrive unpinned).
+    pub store_capacity: usize,
+    /// Modeled VMEM bytes of switching-key residency. A batch whose
+    /// key is not resident charges the modeled re-admission cost
+    /// (HBM read + pod scatter) onto the schedule's wall seconds and
+    /// may evict another tenant's key. `INFINITY` (the default) never
+    /// misses after first touch.
+    pub key_cache_bytes: f64,
+    /// Test hook: the worker that picks up dispatch number `n`
+    /// (0-based, in dispatch-formation order) panics mid-execution,
+    /// exercising the fault-isolation path. Never set in production.
+    #[doc(hidden)]
+    pub inject_worker_panic: Option<u64>,
 }
 
 impl ServeConfig {
     /// Defaults for a pod of `cores` tensor cores of `gen`: workers =
     /// `min(4, available_parallelism)`, drain cap 16, intake capacity
-    /// 64, blocking backpressure, fusion cap 16, fused-batch lowering.
+    /// 64, blocking backpressure, fusion cap 16, fused-batch lowering,
+    /// store capacity 256, unbounded key cache, no SLO.
     pub fn new(gen: cross_tpu::TpuGeneration, cores: u32) -> Self {
         Self {
             gen,
@@ -183,6 +222,10 @@ impl ServeConfig {
             mode: ExecMode::FusedBatch,
             optimize: false,
             batch_window: std::time::Duration::ZERO,
+            slo: None,
+            store_capacity: 256,
+            key_cache_bytes: f64::INFINITY,
+            inject_worker_panic: None,
         }
     }
 
@@ -196,7 +239,7 @@ impl ServeConfig {
         self
     }
 
-    /// Same configuration with an explicit per-dispatch drain cap.
+    /// Same configuration with an explicit per-window drain cap.
     ///
     /// # Panics
     /// Panics if `drain_max == 0`.
@@ -239,6 +282,36 @@ impl ServeConfig {
         self
     }
 
+    /// Same configuration with a per-request latency objective (see
+    /// [`slo`](ServeConfig::slo)).
+    pub fn with_slo(mut self, slo: std::time::Duration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Same configuration with an explicit ciphertext-store bound (see
+    /// [`store_capacity`](ServeConfig::store_capacity)).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_store_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "store capacity must be ≥ 1");
+        self.store_capacity = capacity;
+        self
+    }
+
+    /// Same configuration with an explicit key-residency budget in
+    /// modeled VMEM bytes (see
+    /// [`key_cache_bytes`](ServeConfig::key_cache_bytes)).
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not positive.
+    pub fn with_key_cache_bytes(mut self, bytes: f64) -> Self {
+        assert!(bytes > 0.0, "key cache budget must be positive");
+        self.key_cache_bytes = bytes;
+        self
+    }
+
     /// Same configuration with drain-time optimization switched on or
     /// off (see [`ServeConfig::optimize`]).
     pub fn with_optimize(mut self, optimize: bool) -> Self {
@@ -246,7 +319,7 @@ impl ServeConfig {
         self
     }
 
-    fn scheduler(&self) -> Scheduler {
+    pub(crate) fn scheduler(&self) -> Scheduler {
         Scheduler::new(self.gen, self.cores)
             .with_mode(self.mode)
             .with_max_fuse(self.max_fuse)
@@ -260,6 +333,10 @@ pub enum SubmitError {
     /// The intake is at capacity under [`Backpressure::Reject`] —
     /// retry, shed, or switch the config to [`Backpressure::Block`].
     QueueFull,
+    /// The submitting tenant is at its in-flight quota
+    /// ([`crate::session::TenantSpec::with_quota`]) — wait for
+    /// pending tickets to resolve.
+    TenantOverQuota,
     /// The serving loop is shutting down.
     Closed,
 }
@@ -268,6 +345,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => f.write_str("serving intake at capacity"),
+            SubmitError::TenantOverQuota => f.write_str("tenant in-flight quota reached"),
             SubmitError::Closed => f.write_str("serving loop closed"),
         }
     }
@@ -276,7 +354,7 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Aggregate serving counters, readable any time via
-/// [`Client::stats`].
+/// [`Client::stats`] / [`Session::stats`](crate::session::Session).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServeStats {
     /// Dispatches handed to the worker pool.
@@ -287,10 +365,25 @@ pub struct ServeStats {
     pub ops: u64,
     /// Ops that rode in a batch of more than one (shared kernel).
     pub fused_ops: u64,
-    /// Tickets refused at validation (bad operand/key/level).
+    /// Tickets refused at validation or failed at dispatch (bad
+    /// operand/key/level, evicted operand, cross-tenant reference).
     pub failed: u64,
-    /// Σ modeled wall seconds of every formed schedule.
+    /// Σ modeled wall seconds of every formed schedule, including
+    /// key re-admission penalties.
     pub modeled_wall_s: f64,
+    /// Switching-key residency hits (see [`crate::keycache`]).
+    pub key_hits: u64,
+    /// Switching-key residency misses (each billed a re-admission).
+    pub key_misses: u64,
+    /// Keys evicted from modeled VMEM by residency pressure.
+    pub key_evictions: u64,
+    /// Σ modeled seconds spent re-admitting keys (part of
+    /// [`modeled_wall_s`](ServeStats::modeled_wall_s)).
+    pub key_admit_s: f64,
+    /// Fraction of the key-residency budget currently occupied.
+    pub key_occupancy: f64,
+    /// Ciphertexts LRU-evicted from the bounded store.
+    pub ct_evictions: u64,
 }
 
 impl ServeStats {
@@ -305,85 +398,50 @@ impl ServeStats {
     }
 }
 
-#[derive(Default)]
-struct CtStore {
-    next: AtomicU64,
-    map: Mutex<BTreeMap<CtId, Ciphertext>>,
-}
-
-impl CtStore {
-    fn insert(&self, ct: Ciphertext) -> CtId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(id, ct);
-        id
-    }
-
-    fn get(&self, id: CtId) -> Option<Ciphertext> {
-        self.map.lock().unwrap().get(&id).cloned()
-    }
-
-    fn take(&self, id: CtId) -> Option<Ciphertext> {
-        self.map.lock().unwrap().remove(&id)
-    }
-
-    fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
-    }
-}
-
-/// One submission crossing the intake channel.
-struct Submission {
-    kind: HeOpKind,
-    operands: Vec<CtId>,
-    completion: Completion,
-}
-
-/// One scheduled dispatch crossing the work channel.
-struct WorkItem {
-    graph: OpGraph,
-    schedule: Schedule,
-    inputs: Vec<Ciphertext>,
-    jobs: Vec<Job>,
-}
-
-/// One ticket inside a work item.
-struct Job {
-    node: NodeId,
-    completion: Completion,
-    stats: BatchStats,
-}
-
-/// Client handle inside [`run`]'s closure: shareable across client
-/// threads (`&Client` is `Send + Sync`).
+/// Client handle inside [`run`]'s closure: the single-tenant view of
+/// a [`Session`] (every call is namespaced to
+/// [`DEFAULT_TENANT`]). Shareable across client threads (`&Client` is
+/// `Send + Sync`).
 pub struct Client {
-    tx: Sender<Submission>,
-    store: Arc<CtStore>,
-    stats: Arc<Mutex<ServeStats>>,
-    policy: Backpressure,
+    session: Session,
 }
 
 impl Client {
     /// Stores an input ciphertext, returning the id operations can
-    /// reference. Inputs stay in the store until [`take`](Self::take)n.
+    /// reference. Inputs are pinned against store eviction until
+    /// [`release`](Self::release)d or [`take`](Self::take)n.
     pub fn insert(&self, ct: Ciphertext) -> CtId {
-        self.store.insert(ct)
+        self.session.insert(ct)
     }
 
     /// Clones a stored ciphertext (input or completed result) out of
-    /// the store.
+    /// the store. `None` if the id was never stored, already taken,
+    /// or evicted.
     pub fn fetch(&self, id: CtId) -> Option<Ciphertext> {
-        self.store.get(id)
+        self.session.fetch(id).ok()
     }
 
     /// Removes a stored ciphertext — the response side of the
     /// pipeline (and how a client bounds store growth).
     pub fn take(&self, id: CtId) -> Option<Ciphertext> {
-        self.store.take(id)
+        self.session.take(id)
+    }
+
+    /// Pins a stored ciphertext against LRU eviction (results arrive
+    /// unpinned).
+    pub fn retain(&self, id: CtId) -> Result<(), ServeError> {
+        self.session.retain(id)
+    }
+
+    /// Unpins a stored ciphertext, making it evictable under store
+    /// pressure.
+    pub fn release(&self, id: CtId) -> Result<(), ServeError> {
+        self.session.release(id)
     }
 
     /// Ciphertexts currently stored (inputs plus unclaimed results).
     pub fn stored(&self) -> usize {
-        self.store.len()
+        self.session.stored()
     }
 
     /// Submits one operation over stored ciphertext ids. Under
@@ -405,239 +463,38 @@ impl Client {
     /// `PlainMult`, `KeySwitch`, `Bootstrap` are cost-model-only) and
     /// on an operand count that does not match the kind's arity.
     pub fn submit(&self, kind: HeOpKind, operands: &[CtId]) -> Result<Completion, SubmitError> {
-        assert!(
-            kind.replayable() && kind != HeOpKind::Input,
-            "{} is cost-only and cannot be served",
-            kind.label()
-        );
-        assert_eq!(
-            operands.len(),
-            kind.arity(),
-            "{} expects {} operand(s)",
-            kind.label(),
-            kind.arity()
-        );
-        let completion = Completion::new();
-        let submission = Submission {
-            kind,
-            operands: operands.to_vec(),
-            completion: completion.clone(),
-        };
-        match self.policy {
-            Backpressure::Block => self.tx.send(submission).map_err(|_| SubmitError::Closed)?,
-            Backpressure::Reject => self.tx.try_send(submission).map_err(|e| match e {
-                TrySendError::Full(_) => SubmitError::QueueFull,
-                TrySendError::Closed(_) => SubmitError::Closed,
-            })?,
-        }
-        Ok(completion)
+        self.session.submit(kind, operands)
     }
 
     /// HE-Add of two stored ciphertexts.
     pub fn add(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
-        self.submit(HeOpKind::Add, &[a, b])
+        self.session.add(a, b)
     }
 
     /// HE-Mult (tensor + relinearize + rescale) of two stored
     /// ciphertexts.
     pub fn mult(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
-        self.submit(HeOpKind::Mult, &[a, b])
+        self.session.mult(a, b)
     }
 
     /// HE-Rotate a stored ciphertext by `steps` slots.
     pub fn rotate(&self, a: CtId, steps: usize) -> Result<Completion, SubmitError> {
-        self.submit(HeOpKind::Rotate { steps }, &[a])
+        self.session.rotate(a, steps)
     }
 
     /// Rescale a stored ciphertext (drops one limb).
     pub fn rescale(&self, a: CtId) -> Result<Completion, SubmitError> {
-        self.submit(HeOpKind::Rescale, &[a])
+        self.session.rescale(a)
     }
 
     /// Modulus-drop a stored ciphertext straight to `to_level`.
     pub fn mod_drop(&self, a: CtId, to_level: usize) -> Result<Completion, SubmitError> {
-        self.submit(HeOpKind::ModDrop { to_level }, &[a])
+        self.session.mod_drop(a, to_level)
     }
 
     /// Snapshot of the aggregate serving counters.
     pub fn stats(&self) -> ServeStats {
-        *self.stats.lock().unwrap()
-    }
-}
-
-/// Everything one dispatcher cycle needs, bundled to keep the thread
-/// closure readable.
-struct Dispatcher<'a> {
-    rx: Receiver<Submission>,
-    work_tx: Sender<WorkItem>,
-    scheduler: Scheduler,
-    params: cross_ckks::CkksParams,
-    keys: &'a ServeKeys,
-    store: Arc<CtStore>,
-    stats: Arc<Mutex<ServeStats>>,
-    drain_max: usize,
-    batch_window: std::time::Duration,
-}
-
-impl Dispatcher<'_> {
-    /// Validates one submission and resolves its operands: execution
-    /// level is the operands' aligned (minimum) level, exactly what
-    /// the eager evaluator would use.
-    fn admit(&self, sub: &Submission) -> Result<(usize, Vec<Ciphertext>), ServeError> {
-        self.keys.check(sub.kind)?;
-        let mut cts = Vec::with_capacity(sub.operands.len());
-        for &id in &sub.operands {
-            cts.push(
-                self.store
-                    .get(id)
-                    .ok_or(ServeError::UnresolvedOperand(id))?,
-            );
-        }
-        let level = cts.iter().map(|c| c.level).min().expect("arity ≥ 1");
-        match sub.kind {
-            HeOpKind::Mult | HeOpKind::Rescale if level < 2 => {
-                return Err(ServeError::InvalidLevel(sub.kind.label()))
-            }
-            HeOpKind::ModDrop { to_level } if !(1..=level).contains(&to_level) => {
-                return Err(ServeError::InvalidLevel(sub.kind.label()))
-            }
-            // The evaluator's own Add tolerance: sub-percent scale
-            // drift is fine, more corrupts the message.
-            HeOpKind::Add if (cts[0].scale / cts[1].scale - 1.0).abs() >= 1e-2 => {
-                return Err(ServeError::ScaleMismatch)
-            }
-            _ => {}
-        }
-        Ok((level, cts))
-    }
-
-    fn run(self) {
-        let mut queue = RequestQueue::bounded(self.drain_max);
-        loop {
-            let submissions = self.rx.recv_batch_window(self.drain_max, self.batch_window);
-            if submissions.is_empty() {
-                break; // intake closed and drained — shut down
-            }
-            let mut operand_cts: BTreeMap<u64, Vec<Ciphertext>> = BTreeMap::new();
-            let mut failed = 0u64;
-            for sub in submissions {
-                match self.admit(&sub) {
-                    Err(e) => {
-                        failed += 1;
-                        sub.completion.fulfill(Err(e));
-                    }
-                    Ok((level, cts)) => {
-                        let ticket = queue
-                            .submit_with_completion(sub.kind, level, sub.completion)
-                            .expect("dispatcher never over-fills its own queue");
-                        operand_cts.insert(ticket, cts);
-                    }
-                }
-            }
-            if queue.is_empty() {
-                let mut s = self.stats.lock().unwrap();
-                s.failed += failed;
-                continue;
-            }
-            let dispatch = queue.drain(&self.scheduler, &self.params, self.drain_max);
-
-            // Per-node batch stats from the formed schedule.
-            let mut stat_of: BTreeMap<NodeId, BatchStats> = BTreeMap::new();
-            for batch in &dispatch.schedule.batches {
-                let stats = BatchStats {
-                    ops: batch.ops,
-                    wall_s: batch.wall_s,
-                    per_op_s: batch.per_op_s,
-                };
-                for &node in &batch.nodes {
-                    stat_of.insert(node, stats);
-                }
-            }
-
-            // Inputs in graph input order: form_graph creates input
-            // nodes per ticket in pop order, operand-major.
-            let mut inputs = Vec::new();
-            let mut jobs = Vec::with_capacity(dispatch.tickets.len());
-            for (i, &(ticket, node)) in dispatch.tickets.iter().enumerate() {
-                inputs.extend(operand_cts.remove(&ticket).expect("admitted above"));
-                jobs.push(Job {
-                    node,
-                    completion: dispatch.completions[i]
-                        .clone()
-                        .expect("serving submissions carry completions"),
-                    stats: stat_of[&node],
-                });
-            }
-
-            {
-                let mut s = self.stats.lock().unwrap();
-                s.dispatches += 1;
-                s.batches += dispatch.schedule.batches.len() as u64;
-                s.ops += dispatch.schedule.op_count() as u64;
-                s.fused_ops += dispatch
-                    .schedule
-                    .batches
-                    .iter()
-                    .filter(|b| b.ops > 1)
-                    .map(|b| b.ops as u64)
-                    .sum::<u64>();
-                s.failed += failed;
-                s.modeled_wall_s += dispatch.schedule.wall_s();
-            }
-
-            let item = WorkItem {
-                graph: dispatch.graph,
-                schedule: dispatch.schedule,
-                inputs,
-                jobs,
-            };
-            if let Err(channel::SendError(item)) = self.work_tx.send(item) {
-                // Every worker died (panicked). Unblock this
-                // dispatch's waiters before shutting down — the panic
-                // itself still propagates when the scope joins.
-                for job in &item.jobs {
-                    job.completion
-                        .fulfill_if_empty(Err(ServeError::ExecutionFailed));
-                }
-                break;
-            }
-        }
-    }
-}
-
-fn worker(rx: Receiver<WorkItem>, ctx: &CkksContext, keys: &ServeKeys, store: &CtStore) {
-    let ev = Evaluator::new(ctx);
-    let replay_keys = keys.replay();
-    while let Some(item) = rx.recv() {
-        // A panic mid-dispatch (a latent evaluator bug — validation
-        // catches everything known) must not strand waiters: fail the
-        // item's unfulfilled tickets, then let the panic propagate out
-        // of the scope. Without this, clients block in `wait()`
-        // forever and the thread scope can never join.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut results =
-                execute_schedule(&item.graph, &item.schedule, &ev, &replay_keys, &item.inputs);
-            for job in &item.jobs {
-                // Move (not clone) the result out of the slot — the
-                // worker owns the results vector and each node has one
-                // ticket.
-                let ct = results[job.node]
-                    .take()
-                    .expect("admitted ops are replayable");
-                let id = store.insert(ct);
-                job.completion.fulfill(Ok(Completed {
-                    id,
-                    batch: job.stats,
-                }));
-            }
-        }));
-        if let Err(panic) = outcome {
-            for job in &item.jobs {
-                job.completion
-                    .fulfill_if_empty(Err(ServeError::ExecutionFailed));
-            }
-            std::panic::resume_unwind(panic);
-        }
+        self.session.stats()
     }
 }
 
@@ -647,10 +504,14 @@ fn worker(rx: Receiver<WorkItem>, ctx: &CkksContext, keys: &ServeKeys, store: &C
 /// pending submission before joining — every accepted ticket is
 /// fulfilled by the time `run` returns.
 ///
+/// This is the single-tenant special case of
+/// [`crate::session::serve_tenants`]: all traffic runs as
+/// [`DEFAULT_TENANT`] with weight 1 and no quota.
+///
 /// The client handle is `Sync`: fan out N client threads inside `f`
 /// with [`std::thread::scope`] and share `&Client` across them.
-/// Results are bit-exact with eager [`Evaluator`] calls for any
-/// worker count; execution order (and therefore result-id
+/// Results are bit-exact with eager [`cross_ckks::Evaluator`] calls
+/// for any worker count; execution order (and therefore result-id
 /// interleaving) is deterministic with a single worker and a single
 /// client thread.
 pub fn run<R>(
@@ -659,52 +520,23 @@ pub fn run<R>(
     config: &ServeConfig,
     f: impl FnOnce(&Client) -> R,
 ) -> R {
-    assert!(config.workers >= 1, "need at least one worker");
-    let (tx, rx) = channel::bounded(config.capacity);
-    // A shallow work queue: enough for every worker to stay busy while
-    // the dispatcher forms the next batch, small enough that
-    // backpressure reaches the intake instead of piling up here.
-    let (work_tx, work_rx) = channel::bounded(config.workers.max(1) * 2);
-    let store = Arc::new(CtStore::default());
-    let stats = Arc::new(Mutex::new(ServeStats::default()));
-    let dispatcher = Dispatcher {
-        rx,
-        work_tx,
-        scheduler: config.scheduler(),
-        params: *ctx.params(),
-        keys,
-        store: store.clone(),
-        stats: stats.clone(),
-        drain_max: config.drain_max,
-        batch_window: config.batch_window,
-    };
-    std::thread::scope(|s| {
-        s.spawn(move || dispatcher.run());
-        for _ in 0..config.workers {
-            let rx = work_rx.clone();
-            let store = store.clone();
-            s.spawn(move || worker(rx, ctx, keys, &store));
-        }
-        drop(work_rx); // workers hold the only receive clones now
-        let client = Client {
-            tx,
-            store,
-            stats,
-            policy: config.policy,
-        };
-        let result = f(&client);
-        // Dropping the client closes the intake: the dispatcher drains
-        // what is queued, drops the work channel, the workers finish
-        // and fulfill every remaining ticket, and the scope joins.
-        drop(client);
-        result
-    })
+    session::serve_tenants(
+        ctx,
+        vec![session::default_tenant_spec(keys)],
+        config,
+        |server| {
+            let client = Client {
+                session: server.session(DEFAULT_TENANT),
+            };
+            f(&client)
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cross_ckks::CkksParams;
+    use cross_ckks::{CkksParams, Evaluator};
     use cross_tpu::TpuGeneration;
 
     fn toy_ctx() -> (CkksContext, cross_ckks::KeyPair) {
@@ -766,6 +598,39 @@ mod tests {
             // The loop is still healthy after all those failures.
             assert!(client.add(x, x).unwrap().wait().is_ok());
             assert_eq!(client.stats().failed, 4);
+        });
+    }
+
+    #[test]
+    fn unbounded_result_growth_is_capped_by_the_store() {
+        // Regression: the PR-5 store grew without bound when clients
+        // never claimed results. Now unclaimed (unpinned) results are
+        // LRU-evicted at `store_capacity`, and a later reference to an
+        // evicted id fails precisely.
+        let (ctx, kp) = toy_ctx();
+        let keys = ServeKeys::new();
+        let config = ServeConfig::new(TpuGeneration::V6e, 4)
+            .with_workers(1)
+            .with_store_capacity(8);
+        let msg = vec![0.25; ctx.slot_count()];
+        let ct = ctx.encrypt(&msg, &kp.public);
+        run(&ctx, &keys, &config, |client| {
+            let x = client.insert(ct.clone());
+            let mut first_result = None;
+            for _ in 0..32 {
+                let done = client.add(x, x).unwrap().wait().unwrap();
+                first_result.get_or_insert(done.id);
+            }
+            // 32 unclaimed results against capacity 8: the store is
+            // bounded and the earliest result is long gone.
+            assert!(client.stored() <= 8);
+            assert!(client.stats().ct_evictions >= 24);
+            let first = first_result.unwrap();
+            assert!(client.fetch(first).is_none());
+            let stale = client.add(first, first).unwrap().wait();
+            assert_eq!(stale, Err(ServeError::Evicted(first)));
+            // The pinned input survived all that pressure.
+            assert!(client.fetch(x).is_some());
         });
     }
 

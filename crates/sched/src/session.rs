@@ -1,0 +1,1109 @@
+//! Multi-tenant serving: per-tenant sessions over one shared serving
+//! loop, with tenant-owned key material behind the
+//! [`KeyCache`] residency model, a bounded ciphertext store with
+//! explicit retain/release and LRU eviction, per-tenant admission
+//! control, and deficit-round-robin fair scheduling.
+//!
+//! [`serve_tenants`] is the multi-tenant generalization of
+//! [`crate::serve::run`] (which now delegates here with a single
+//! [`DEFAULT_TENANT`]): register a [`TenantSpec`] per tenant — its
+//! [`ServeKeys`], fair-share weight, and in-flight quota — and the
+//! closure receives a [`Server`] from which each client thread opens
+//! its tenant's [`Session`]. The engine is the same
+//! dispatcher/worker pipeline as the single-tenant loop, with four
+//! multi-tenant behaviors layered in (DESIGN.md §11):
+//!
+//! * **Isolation** — every stored ciphertext is owned by the tenant
+//!   that created it; a request naming another tenant's [`CtId`]
+//!   fails its own ticket with [`ServeError::CrossTenant`], and fused
+//!   batches never mix tenants (a fused batch shares one switching
+//!   key, and keys are tenant-owned), enforced structurally by
+//!   [`RequestQueue::drain_fair`]-style per-tenant dispatch formation.
+//! * **Fairness** — the dispatcher pops each scheduling window by
+//!   deficit round robin over the per-tenant queues
+//!   ([`RequestQueue::pop_fair`]), so a flooding tenant gets its
+//!   weight's share of every window instead of starving light ones.
+//! * **Bounded memory** — the ciphertext store holds at most
+//!   [`crate::serve::ServeConfig::store_capacity`] entries: inputs
+//!   are inserted pinned (the client manages their lifetime via
+//!   [`Session::release`]/[`Session::take`]), results arrive
+//!   unpinned and are evicted least-recently-used under pressure. A
+//!   request whose operand was evicted fails its own ticket with
+//!   [`ServeError::Evicted`] — never a wrong result. Switching-key
+//!   residency is bounded the same way by the [`KeyCache`], whose
+//!   misses bill modeled re-admission seconds onto the schedule.
+//! * **Admission control** — each tenant has an in-flight quota;
+//!   beyond it, [`Session::submit`] returns
+//!   [`SubmitError::TenantOverQuota`] without touching the shared
+//!   intake.
+//!
+//! SLO-aware micro-batching rides the same pipeline: with
+//! [`crate::serve::ServeConfig::with_slo`] set, the dispatcher
+//! gathers each batch until the *oldest queued request's* deadline
+//! (`submitted_at + slo`) instead of a fixed window
+//! ([`crate::channel::Receiver::recv_batch_deadline`]).
+//!
+//! Functional results remain **bit-exact** with eager per-tenant
+//! [`Evaluator`] calls under any tenant interleaving, worker count,
+//! eviction pressure, or key-cache capacity — the cache and store are
+//! residency/cost models, and correctness never depends on them
+//! (pinned by `tests/serve_tenants.rs`).
+//!
+//! # Examples
+//!
+//! Two tenants with their own keys, served concurrently:
+//!
+//! ```
+//! use cross_ckks::{CkksContext, CkksParams};
+//! use cross_sched::serve::{ServeConfig, ServeKeys};
+//! use cross_sched::session::{self, TenantSpec};
+//! use cross_tpu::TpuGeneration;
+//!
+//! let ctx = CkksContext::new(CkksParams::toy(), 5);
+//! let kp_a = ctx.generate_keys();
+//! let kp_b = ctx.generate_keys();
+//! let tenants = vec![
+//!     TenantSpec::new(1, ServeKeys::new().with_relin(kp_a.relin.clone())),
+//!     TenantSpec::new(2, ServeKeys::new().with_relin(kp_b.relin.clone())).with_weight(2),
+//! ];
+//! let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(2);
+//! session::serve_tenants(&ctx, tenants, &config, |server| {
+//!     let a = server.session(1);
+//!     let b = server.session(2);
+//!     let msg = vec![0.25; ctx.slot_count()];
+//!     let xa = a.insert(ctx.encrypt(&msg, &kp_a.public));
+//!     let xb = b.insert(ctx.encrypt(&msg, &kp_b.public));
+//!     let da = a.mult(xa, xa).unwrap().wait().unwrap();
+//!     let db = b.mult(xb, xb).unwrap().wait().unwrap();
+//!     // Each tenant's result decrypts under its own secret key.
+//!     assert!(a.take(da.id).is_some());
+//!     assert!(b.take(db.id).is_some());
+//!     // Isolation: tenant B cannot consume tenant A's ciphertext.
+//!     let leak = b.add(xa, xb).unwrap().wait();
+//!     assert!(leak.is_err());
+//! });
+//! ```
+
+use crate::channel::{self, Receiver, Sender, TrySendError};
+use crate::exec::execute_schedule;
+use crate::ir::{HeOpKind, NodeId};
+use crate::keycache::KeyCache;
+use crate::queue::{
+    Backpressure, BatchStats, Completed, Completion, CtId, HeRequest, RequestQueue, ServeError,
+    TenantId, DEFAULT_TENANT,
+};
+use crate::sched::{Schedule, Scheduler};
+use crate::serve::{ServeConfig, ServeKeys, ServeStats, SubmitError};
+use cross_ckks::{Ciphertext, CkksContext, Evaluator};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One tenant's registration with [`serve_tenants`]: its key
+/// material, fair-share weight, and admission quota.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's id (unique per server).
+    pub id: TenantId,
+    /// The switching keys this tenant's requests execute under.
+    pub keys: ServeKeys,
+    /// Deficit-round-robin weight (default 1; see
+    /// [`RequestQueue::set_weight`]).
+    pub weight: u64,
+    /// Most in-flight (submitted, not yet completed) requests before
+    /// [`Session::submit`] returns [`SubmitError::TenantOverQuota`]
+    /// (default unlimited).
+    pub quota: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and no quota.
+    pub fn new(id: TenantId, keys: ServeKeys) -> Self {
+        Self {
+            id,
+            keys,
+            weight: 1,
+            quota: usize::MAX,
+        }
+    }
+
+    /// Same spec with an explicit fair-share weight.
+    ///
+    /// # Panics
+    /// Panics if `weight == 0`.
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        assert!(weight >= 1, "tenant weight must be ≥ 1");
+        self.weight = weight;
+        self
+    }
+
+    /// Same spec with an explicit in-flight quota.
+    ///
+    /// # Panics
+    /// Panics if `quota == 0` (a zero quota could never submit).
+    pub fn with_quota(mut self, quota: usize) -> Self {
+        assert!(quota >= 1, "quota must be ≥ 1");
+        self.quota = quota;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded, tenant-owned ciphertext store
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct StoreEntry {
+    ct: Ciphertext,
+    tenant: TenantId,
+    pinned: bool,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    next: CtId,
+    clock: u64,
+    entries: BTreeMap<CtId, StoreEntry>,
+    /// Ids reclaimed by LRU pressure (so a later reference fails with
+    /// the precise [`ServeError::Evicted`] instead of the generic
+    /// unresolved error). Ids are 8 bytes — tracking them is noise
+    /// next to the ciphertexts the eviction actually freed.
+    evicted: BTreeSet<CtId>,
+    evictions: u64,
+}
+
+/// The serving loop's shared ciphertext store: entries are owned by
+/// the inserting tenant, the population is capped, and unpinned
+/// entries are evicted least-recently-used under pressure.
+pub(crate) struct CtStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl CtStore {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "store capacity must be ≥ 1");
+        Self {
+            capacity,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Inserts a ciphertext owned by `tenant`, then evicts
+    /// least-recently-used *unpinned* entries while the store exceeds
+    /// capacity. When every entry is pinned the store runs over
+    /// capacity rather than invalidating a pin — pins are explicit
+    /// client holds.
+    fn insert(&self, tenant: TenantId, ct: Ciphertext, pinned: bool) -> CtId {
+        let mut st = self.inner.lock().unwrap();
+        let id = st.next;
+        st.next += 1;
+        st.clock += 1;
+        let last_used = st.clock;
+        st.entries.insert(
+            id,
+            StoreEntry {
+                ct,
+                tenant,
+                pinned,
+                last_used,
+            },
+        );
+        while st.entries.len() > self.capacity {
+            let Some(coldest) = st
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id)
+            else {
+                break; // everything pinned: honor the pins
+            };
+            st.entries.remove(&coldest);
+            st.evicted.insert(coldest);
+            st.evictions += 1;
+        }
+        id
+    }
+
+    fn err_for_missing(st: &StoreInner, id: CtId) -> ServeError {
+        if st.evicted.contains(&id) {
+            ServeError::Evicted(id)
+        } else {
+            ServeError::UnresolvedOperand(id)
+        }
+    }
+
+    /// Clones out `id` for `tenant`, refreshing its LRU position.
+    /// Fails with the precise reason: never allocated / already taken
+    /// → [`ServeError::UnresolvedOperand`]; reclaimed by pressure →
+    /// [`ServeError::Evicted`]; owned by someone else →
+    /// [`ServeError::CrossTenant`].
+    fn get(&self, tenant: TenantId, id: CtId) -> Result<Ciphertext, ServeError> {
+        let mut st = self.inner.lock().unwrap();
+        st.clock += 1;
+        let clock = st.clock;
+        let Some(e) = st.entries.get_mut(&id) else {
+            return Err(Self::err_for_missing(&st, id));
+        };
+        if e.tenant != tenant {
+            return Err(ServeError::CrossTenant(id));
+        }
+        e.last_used = clock;
+        Ok(e.ct.clone())
+    }
+
+    /// Level and scale of `id` without cloning the ciphertext — the
+    /// dispatcher's validation probe.
+    fn inspect(&self, tenant: TenantId, id: CtId) -> Result<(usize, f64), ServeError> {
+        let mut st = self.inner.lock().unwrap();
+        st.clock += 1;
+        let clock = st.clock;
+        let Some(e) = st.entries.get_mut(&id) else {
+            return Err(Self::err_for_missing(&st, id));
+        };
+        if e.tenant != tenant {
+            return Err(ServeError::CrossTenant(id));
+        }
+        e.last_used = clock;
+        Ok((e.ct.level, e.ct.scale))
+    }
+
+    /// Removes `id` if `tenant` owns it.
+    fn take(&self, tenant: TenantId, id: CtId) -> Option<Ciphertext> {
+        let mut st = self.inner.lock().unwrap();
+        if st.entries.get(&id)?.tenant != tenant {
+            return None;
+        }
+        st.entries.remove(&id).map(|e| e.ct)
+    }
+
+    fn set_pinned(&self, tenant: TenantId, id: CtId, pinned: bool) -> Result<(), ServeError> {
+        let mut st = self.inner.lock().unwrap();
+        let Some(e) = st.entries.get_mut(&id) else {
+            return Err(Self::err_for_missing(&st, id));
+        };
+        if e.tenant != tenant {
+            return Err(ServeError::CrossTenant(id));
+        }
+        e.pinned = pinned;
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline messages
+// ---------------------------------------------------------------------
+
+/// One submission crossing the intake channel.
+struct Submission {
+    tenant: TenantId,
+    kind: HeOpKind,
+    operands: Vec<CtId>,
+    completion: Completion,
+    submitted_at: Instant,
+    /// The submitting tenant's in-flight counter, decremented exactly
+    /// once when the ticket resolves (any path).
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// One scheduled per-tenant dispatch crossing the work channel.
+struct WorkItem {
+    tenant: TenantId,
+    seq: u64,
+    graph: crate::ir::OpGraph,
+    schedule: Schedule,
+    inputs: Vec<Ciphertext>,
+    jobs: Vec<Job>,
+}
+
+/// One ticket inside a work item.
+struct Job {
+    node: NodeId,
+    completion: Completion,
+    stats: BatchStats,
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// Resolves one ticket: frees its quota slot *before* waking the
+/// waiter, so a client that observes completion can immediately
+/// submit against the freed slot.
+fn resolve(
+    completion: &Completion,
+    outcome: Result<Completed, ServeError>,
+    in_flight: &AtomicUsize,
+) {
+    in_flight.fetch_sub(1, Ordering::Relaxed);
+    completion.fulfill(outcome);
+}
+
+// ---------------------------------------------------------------------
+// Server / Session handles
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct TenantGate {
+    in_flight: Arc<AtomicUsize>,
+    quota: usize,
+}
+
+/// The serving handle inside [`serve_tenants`]'s closure: opens
+/// per-tenant [`Session`]s and reads aggregate stats. `&Server` is
+/// `Send + Sync` — share it across client threads.
+pub struct Server {
+    tx: Sender<Submission>,
+    store: Arc<CtStore>,
+    stats: Arc<Mutex<ServeStats>>,
+    policy: Backpressure,
+    gates: BTreeMap<TenantId, TenantGate>,
+}
+
+impl Server {
+    /// Opens `tenant`'s session. Sessions are cheap handles — open one
+    /// per client thread. Keep them inside the serving closure: a
+    /// session that outlives it keeps the intake open and the loop
+    /// never shuts down.
+    ///
+    /// # Panics
+    /// Panics if `tenant` was not registered with [`serve_tenants`].
+    pub fn session(&self, tenant: TenantId) -> Session {
+        let gate = self
+            .gates
+            .get(&tenant)
+            .unwrap_or_else(|| panic!("tenant {tenant} not registered with this server"))
+            .clone();
+        Session {
+            tenant,
+            tx: self.tx.clone(),
+            store: self.store.clone(),
+            stats: self.stats.clone(),
+            policy: self.policy,
+            gate,
+        }
+    }
+
+    /// Snapshot of the aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = *self.stats.lock().unwrap();
+        s.ct_evictions = self.store.evictions();
+        s
+    }
+}
+
+/// One tenant's handle on the serving loop: a namespaced view of the
+/// shared store plus the submission API. `&Session` is `Send + Sync`.
+pub struct Session {
+    tenant: TenantId,
+    tx: Sender<Submission>,
+    store: Arc<CtStore>,
+    stats: Arc<Mutex<ServeStats>>,
+    policy: Backpressure,
+    gate: TenantGate,
+}
+
+impl Session {
+    /// This session's tenant id.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Stores an input ciphertext owned by this tenant, **pinned**:
+    /// the client manages input lifetime explicitly
+    /// ([`release`](Self::release) makes it evictable,
+    /// [`take`](Self::take) removes it), so an input is never yanked
+    /// from under a client still submitting against it.
+    pub fn insert(&self, ct: Ciphertext) -> CtId {
+        self.store.insert(self.tenant, ct, true)
+    }
+
+    /// Clones a stored ciphertext out, failing with the precise
+    /// reason ([`ServeError::Evicted`] / [`ServeError::CrossTenant`] /
+    /// [`ServeError::UnresolvedOperand`]).
+    pub fn fetch(&self, id: CtId) -> Result<Ciphertext, ServeError> {
+        self.store.get(self.tenant, id)
+    }
+
+    /// Removes a stored ciphertext this tenant owns — the response
+    /// side of the pipeline, and how results stop occupying the
+    /// bounded store.
+    pub fn take(&self, id: CtId) -> Option<Ciphertext> {
+        self.store.take(self.tenant, id)
+    }
+
+    /// Pins `id` against LRU eviction (results arrive unpinned — a
+    /// client keeping one around across later submissions pins it).
+    pub fn retain(&self, id: CtId) -> Result<(), ServeError> {
+        self.store.set_pinned(self.tenant, id, true)
+    }
+
+    /// Unpins `id`, making it evictable under store pressure. A later
+    /// request referencing it after eviction fails its own ticket
+    /// with [`ServeError::Evicted`].
+    pub fn release(&self, id: CtId) -> Result<(), ServeError> {
+        self.store.set_pinned(self.tenant, id, false)
+    }
+
+    /// Ciphertexts currently stored, across all tenants (the bounded
+    /// population [`crate::serve::ServeConfig::store_capacity`] caps).
+    pub fn stored(&self) -> usize {
+        self.store.len()
+    }
+
+    /// This tenant's in-flight (submitted, unresolved) request count.
+    pub fn in_flight(&self) -> usize {
+        self.gate.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Submits one operation over stored ciphertext ids; semantics of
+    /// [`crate::serve::Client::submit`], namespaced to this tenant:
+    /// operands must be owned by this tenant (a ticket naming another
+    /// tenant's id fails with [`ServeError::CrossTenant`]), and
+    /// submission is refused with [`SubmitError::TenantOverQuota`]
+    /// once the tenant's in-flight quota is reached.
+    ///
+    /// # Panics
+    /// Panics on kinds the executor cannot replay and on an operand
+    /// count that does not match the kind's arity.
+    pub fn submit(&self, kind: HeOpKind, operands: &[CtId]) -> Result<Completion, SubmitError> {
+        assert!(
+            kind.replayable() && kind != HeOpKind::Input,
+            "{} is cost-only and cannot be served",
+            kind.label()
+        );
+        assert_eq!(
+            operands.len(),
+            kind.arity(),
+            "{} expects {} operand(s)",
+            kind.label(),
+            kind.arity()
+        );
+        // Admission control: reserve an in-flight slot or refuse.
+        if self.gate.in_flight.fetch_add(1, Ordering::Relaxed) >= self.gate.quota {
+            self.gate.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(SubmitError::TenantOverQuota);
+        }
+        let completion = Completion::new();
+        let submission = Submission {
+            tenant: self.tenant,
+            kind,
+            operands: operands.to_vec(),
+            completion: completion.clone(),
+            submitted_at: Instant::now(),
+            in_flight: self.gate.in_flight.clone(),
+        };
+        let sent = match self.policy {
+            Backpressure::Block => self.tx.send(submission).map_err(|_| SubmitError::Closed),
+            Backpressure::Reject => self.tx.try_send(submission).map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::QueueFull,
+                TrySendError::Closed(_) => SubmitError::Closed,
+            }),
+        };
+        if let Err(e) = sent {
+            self.gate.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        Ok(completion)
+    }
+
+    /// HE-Add of two stored ciphertexts.
+    pub fn add(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Add, &[a, b])
+    }
+
+    /// HE-Mult of two stored ciphertexts (needs this tenant's relin
+    /// key).
+    pub fn mult(&self, a: CtId, b: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Mult, &[a, b])
+    }
+
+    /// HE-Rotate a stored ciphertext by `steps` slots (needs this
+    /// tenant's rotation key for `steps`).
+    pub fn rotate(&self, a: CtId, steps: usize) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Rotate { steps }, &[a])
+    }
+
+    /// Rescale a stored ciphertext (drops one limb).
+    pub fn rescale(&self, a: CtId) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::Rescale, &[a])
+    }
+
+    /// Modulus-drop a stored ciphertext straight to `to_level`.
+    pub fn mod_drop(&self, a: CtId, to_level: usize) -> Result<Completion, SubmitError> {
+        self.submit(HeOpKind::ModDrop { to_level }, &[a])
+    }
+
+    /// Snapshot of the aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = *self.stats.lock().unwrap();
+        s.ct_evictions = self.store.evictions();
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+struct Dispatcher<'a> {
+    rx: Receiver<Submission>,
+    work_tx: Sender<WorkItem>,
+    scheduler: Scheduler,
+    params: cross_ckks::CkksParams,
+    tenants: &'a BTreeMap<TenantId, ServeKeys>,
+    store: Arc<CtStore>,
+    stats: Arc<Mutex<ServeStats>>,
+    cache: KeyCache,
+    queue: RequestQueue,
+    /// Per accepted ticket: operand ids (resolved to ciphertexts at
+    /// dispatch time, so eviction in between surfaces per-ticket) and
+    /// the tenant's in-flight counter.
+    meta: BTreeMap<u64, (Vec<CtId>, Arc<AtomicUsize>)>,
+    drain_max: usize,
+    gather_max: usize,
+    batch_window: std::time::Duration,
+    slo: Option<std::time::Duration>,
+    dispatch_seq: u64,
+}
+
+impl Dispatcher<'_> {
+    /// Validates one submission at intake: key availability, operand
+    /// existence/ownership, level and scale rules. Returns the
+    /// execution level (the operands' aligned minimum — exactly what
+    /// the eager evaluator would use).
+    fn admit(&self, sub: &Submission) -> Result<usize, ServeError> {
+        let keys = self
+            .tenants
+            .get(&sub.tenant)
+            .expect("sessions only exist for registered tenants");
+        keys.check(sub.kind)?;
+        let mut shapes = Vec::with_capacity(sub.operands.len());
+        for &id in &sub.operands {
+            shapes.push(self.store.inspect(sub.tenant, id)?);
+        }
+        let level = shapes.iter().map(|&(l, _)| l).min().expect("arity ≥ 1");
+        match sub.kind {
+            HeOpKind::Mult | HeOpKind::Rescale if level < 2 => {
+                return Err(ServeError::InvalidLevel(sub.kind.label()))
+            }
+            HeOpKind::ModDrop { to_level } if !(1..=level).contains(&to_level) => {
+                return Err(ServeError::InvalidLevel(sub.kind.label()))
+            }
+            // The evaluator's own Add tolerance: sub-percent scale
+            // drift is fine, more corrupts the message.
+            HeOpKind::Add if (shapes[0].1 / shapes[1].1 - 1.0).abs() >= 1e-2 => {
+                return Err(ServeError::ScaleMismatch)
+            }
+            _ => {}
+        }
+        Ok(level)
+    }
+
+    /// Forms and sends one per-tenant dispatch from an
+    /// already-popped, operand-resolved request slice. Returns false
+    /// when the worker pool is gone.
+    fn dispatch_tenant(
+        &mut self,
+        tenant: TenantId,
+        requests: &[HeRequest],
+        completions: Vec<Option<Completion>>,
+        in_flights: Vec<Arc<AtomicUsize>>,
+        inputs: Vec<Ciphertext>,
+    ) -> bool {
+        let dispatch =
+            RequestQueue::dispatch_requests(requests, completions, &self.scheduler, &self.params);
+
+        // Key residency: touch every key the schedule loads under
+        // this tenant. Misses bill modeled re-admission seconds.
+        let keys = &self.tenants[&tenant];
+        let mut admit_s = 0.0;
+        for batch in &dispatch.schedule.batches {
+            if let Some(kr) = batch.key_ref() {
+                let bytes = keys.key_bytes(kr).expect("key presence validated at admit");
+                admit_s += self.cache.touch(tenant, kr, bytes);
+            }
+        }
+
+        // Per-node batch stats from the formed schedule.
+        let mut stat_of: BTreeMap<NodeId, BatchStats> = BTreeMap::new();
+        for batch in &dispatch.schedule.batches {
+            let stats = BatchStats {
+                ops: batch.ops,
+                wall_s: batch.wall_s,
+                per_op_s: batch.per_op_s,
+            };
+            for &node in &batch.nodes {
+                stat_of.insert(node, stats);
+            }
+        }
+
+        let mut jobs = Vec::with_capacity(dispatch.tickets.len());
+        for (i, &(_, node)) in dispatch.tickets.iter().enumerate() {
+            jobs.push(Job {
+                node,
+                completion: dispatch.completions[i]
+                    .clone()
+                    .expect("serving submissions carry completions"),
+                stats: stat_of[&node],
+                in_flight: in_flights[i].clone(),
+            });
+        }
+
+        {
+            let mut s = self.stats.lock().unwrap();
+            s.dispatches += 1;
+            s.batches += dispatch.schedule.batches.len() as u64;
+            s.ops += dispatch.schedule.op_count() as u64;
+            s.fused_ops += dispatch
+                .schedule
+                .batches
+                .iter()
+                .filter(|b| b.ops > 1)
+                .map(|b| b.ops as u64)
+                .sum::<u64>();
+            s.modeled_wall_s += dispatch.schedule.wall_s() + admit_s;
+            let ks = self.cache.stats();
+            s.key_hits = ks.hits;
+            s.key_misses = ks.misses;
+            s.key_evictions = ks.evictions;
+            s.key_admit_s = ks.admit_s;
+            s.key_occupancy = self.cache.occupancy();
+        }
+
+        let item = WorkItem {
+            tenant,
+            seq: self.dispatch_seq,
+            graph: dispatch.graph,
+            schedule: dispatch.schedule,
+            inputs,
+            jobs,
+        };
+        self.dispatch_seq += 1;
+        if let Err(channel::SendError(item)) = self.work_tx.send(item) {
+            // Every worker died (panicked). Unblock this dispatch's
+            // waiters — the panic itself still propagates when the
+            // scope joins.
+            for job in &item.jobs {
+                if job
+                    .completion
+                    .fulfill_if_empty(Err(ServeError::ExecutionFailed))
+                {
+                    job.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Fails everything still queued or en route — the dead-worker
+    /// shutdown path, so no accepted ticket is left hanging.
+    fn fail_all_remaining(&mut self) {
+        loop {
+            let leftover = self.queue.pop_fair(self.drain_max.max(1));
+            if leftover.is_empty() {
+                break;
+            }
+            for req in leftover {
+                let completion = self
+                    .queue
+                    .take_completion(req.ticket)
+                    .expect("serving submissions carry completions");
+                let (_, in_flight) = self.meta.remove(&req.ticket).expect("admitted");
+                resolve(&completion, Err(ServeError::ExecutionFailed), &in_flight);
+            }
+        }
+        for sub in self.rx.try_recv_batch(usize::MAX) {
+            resolve(
+                &sub.completion,
+                Err(ServeError::ExecutionFailed),
+                &sub.in_flight,
+            );
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            // Intake: block when idle; when a backlog is pending, only
+            // top up without blocking (and without exceeding the
+            // queue's bound), so the DRR windows keep draining.
+            let submissions = if self.queue.is_empty() {
+                match self.slo {
+                    Some(slo) => self
+                        .rx
+                        .recv_batch_deadline(self.gather_max, |s: &Submission| {
+                            s.submitted_at + slo
+                        }),
+                    None => self
+                        .rx
+                        .recv_batch_window(self.gather_max, self.batch_window),
+                }
+            } else {
+                let room = self.gather_max.saturating_sub(self.queue.len());
+                if room > 0 {
+                    self.rx.try_recv_batch(room)
+                } else {
+                    Vec::new()
+                }
+            };
+            if submissions.is_empty() && self.queue.is_empty() {
+                break; // intake closed and drained — shut down
+            }
+
+            let mut failed = 0u64;
+            for sub in submissions {
+                match self.admit(&sub) {
+                    Err(e) => {
+                        failed += 1;
+                        resolve(&sub.completion, Err(e), &sub.in_flight);
+                    }
+                    Ok(level) => {
+                        let ticket = self
+                            .queue
+                            .submit_with_completion_for(sub.tenant, sub.kind, level, sub.completion)
+                            .expect("queue bounded to the gather budget");
+                        self.meta.insert(ticket, (sub.operands, sub.in_flight));
+                    }
+                }
+            }
+
+            // One deficit-round-robin window, formed into one dispatch
+            // per tenant (fused batches never mix tenants).
+            let popped = self.queue.pop_fair(self.drain_max);
+            let mut by_tenant: BTreeMap<TenantId, Vec<HeRequest>> = BTreeMap::new();
+            for req in popped {
+                by_tenant.entry(req.tenant).or_default().push(req);
+            }
+            let mut workers_alive = true;
+            for (tenant, requests) in by_tenant {
+                let mut ok = Vec::with_capacity(requests.len());
+                let mut completions = Vec::new();
+                let mut in_flights = Vec::new();
+                let mut inputs = Vec::new();
+                for req in requests {
+                    let completion = self
+                        .queue
+                        .take_completion(req.ticket)
+                        .expect("serving submissions carry completions");
+                    let (ids, in_flight) = self.meta.remove(&req.ticket).expect("admitted");
+                    // Deferred operand resolution: an eviction between
+                    // admission and dispatch surfaces here, failing
+                    // only this ticket.
+                    let mut cts = Vec::with_capacity(ids.len());
+                    let mut err = None;
+                    for id in ids {
+                        match self.store.get(tenant, id) {
+                            Ok(ct) => cts.push(ct),
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    match err {
+                        Some(e) => {
+                            failed += 1;
+                            resolve(&completion, Err(e), &in_flight);
+                        }
+                        None => {
+                            ok.push(req);
+                            completions.push(Some(completion));
+                            in_flights.push(in_flight);
+                            inputs.extend(cts);
+                        }
+                    }
+                }
+                if ok.is_empty() {
+                    continue;
+                }
+                if !self.dispatch_tenant(tenant, &ok, completions, in_flights, inputs) {
+                    workers_alive = false;
+                    break;
+                }
+            }
+            if failed > 0 {
+                self.stats.lock().unwrap().failed += failed;
+            }
+            if !workers_alive {
+                self.fail_all_remaining();
+                break;
+            }
+        }
+    }
+}
+
+fn worker(
+    rx: Receiver<WorkItem>,
+    ctx: &CkksContext,
+    tenants: &BTreeMap<TenantId, ServeKeys>,
+    store: &CtStore,
+    seq: &AtomicU64,
+    panic_at: Option<u64>,
+) {
+    let ev = Evaluator::new(ctx);
+    while let Some(item) = rx.recv() {
+        // A panic mid-dispatch (a latent evaluator bug, or the
+        // injected fault below) must not strand waiters: fail the
+        // item's unfulfilled tickets, then let the panic propagate out
+        // of the scope. Only this item's tickets are affected — other
+        // tenants' dispatches ride other work items.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if panic_at == Some(item.seq) {
+                panic!("injected worker fault at dispatch {}", item.seq);
+            }
+            let replay_keys = tenants[&item.tenant].replay();
+            let mut results =
+                execute_schedule(&item.graph, &item.schedule, &ev, &replay_keys, &item.inputs);
+            for job in &item.jobs {
+                // Move (not clone) the result out of the slot — the
+                // worker owns the results vector and each node has one
+                // ticket. Results arrive unpinned: an unclaimed result
+                // is exactly what LRU pressure should reclaim.
+                let ct = results[job.node]
+                    .take()
+                    .expect("admitted ops are replayable");
+                let id = store.insert(item.tenant, ct, false);
+                let s = seq.fetch_add(1, Ordering::Relaxed);
+                resolve(
+                    &job.completion,
+                    Ok(Completed {
+                        id,
+                        batch: job.stats,
+                        seq: s,
+                    }),
+                    &job.in_flight,
+                );
+            }
+        }));
+        if let Err(panic) = outcome {
+            for job in &item.jobs {
+                if job
+                    .completion
+                    .fulfill_if_empty(Err(ServeError::ExecutionFailed))
+                {
+                    job.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Runs a multi-tenant serving loop for the closure's lifetime:
+/// spawns the dispatcher and [`ServeConfig::workers`] workers on
+/// scoped threads, calls `f` with the [`Server`], and after `f`
+/// returns drains every pending submission before joining — every
+/// accepted ticket is fulfilled by the time this returns.
+///
+/// Results are bit-exact with eager per-tenant [`Evaluator`] calls
+/// for any worker count, tenant interleaving, or store/key-cache
+/// pressure. [`crate::serve::run`] is the single-tenant special case
+/// (one [`DEFAULT_TENANT`] spec) and delegates here.
+///
+/// # Panics
+/// Panics if `tenants` is empty or contains duplicate ids.
+pub fn serve_tenants<R>(
+    ctx: &CkksContext,
+    tenants: Vec<TenantSpec>,
+    config: &ServeConfig,
+    f: impl FnOnce(&Server) -> R,
+) -> R {
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(!tenants.is_empty(), "register at least one tenant");
+    let (tx, rx) = channel::bounded(config.capacity);
+    // A shallow work queue: enough for every worker to stay busy while
+    // the dispatcher forms the next batch, small enough that
+    // backpressure reaches the intake instead of piling up here.
+    let (work_tx, work_rx) = channel::bounded(config.workers.max(1) * 2);
+    let store = Arc::new(CtStore::new(config.store_capacity));
+    let stats = Arc::new(Mutex::new(ServeStats::default()));
+    let seq = AtomicU64::new(0);
+
+    let mut keys_map: BTreeMap<TenantId, ServeKeys> = BTreeMap::new();
+    let mut gates: BTreeMap<TenantId, TenantGate> = BTreeMap::new();
+    let mut queue = RequestQueue::bounded(config.capacity);
+    for t in tenants {
+        assert!(
+            keys_map.insert(t.id, t.keys).is_none(),
+            "duplicate tenant id {}",
+            t.id
+        );
+        queue.set_weight(t.id, t.weight);
+        gates.insert(
+            t.id,
+            TenantGate {
+                in_flight: Arc::new(AtomicUsize::new(0)),
+                quota: t.quota,
+            },
+        );
+    }
+    let keys_map = &keys_map;
+
+    let dispatcher = Dispatcher {
+        rx,
+        work_tx,
+        scheduler: config.scheduler(),
+        params: *ctx.params(),
+        tenants: keys_map,
+        store: store.clone(),
+        stats: stats.clone(),
+        cache: KeyCache::new(config.gen, config.cores, config.key_cache_bytes),
+        queue,
+        meta: BTreeMap::new(),
+        drain_max: config.drain_max,
+        gather_max: config.capacity,
+        batch_window: config.batch_window,
+        slo: config.slo,
+        dispatch_seq: 0,
+    };
+    let seq = &seq;
+    std::thread::scope(|s| {
+        s.spawn(move || dispatcher.run());
+        for _ in 0..config.workers {
+            let rx = work_rx.clone();
+            let store = store.clone();
+            let panic_at = config.inject_worker_panic;
+            s.spawn(move || worker(rx, ctx, keys_map, &store, seq, panic_at));
+        }
+        drop(work_rx); // workers hold the only receive clones now
+        let server = Server {
+            tx,
+            store,
+            stats,
+            policy: config.policy,
+            gates,
+        };
+        let result = f(&server);
+        // Dropping the server (and with it the last intake sender,
+        // assuming sessions stayed inside `f`) closes the intake: the
+        // dispatcher drains what is queued, drops the work channel,
+        // the workers finish and fulfill every remaining ticket, and
+        // the scope joins.
+        drop(server);
+        result
+    })
+}
+
+/// The single-tenant spec [`crate::serve::run`] registers: all
+/// traffic as [`DEFAULT_TENANT`], weight 1, no quota.
+pub(crate) fn default_tenant_spec(keys: &ServeKeys) -> TenantSpec {
+    TenantSpec::new(DEFAULT_TENANT, keys.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cross_ckks::CkksParams;
+    use cross_tpu::TpuGeneration;
+
+    fn toy_ctx() -> (CkksContext, cross_ckks::KeyPair) {
+        let ctx = CkksContext::new(CkksParams::toy(), 41);
+        let kp = ctx.generate_keys();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn store_distinguishes_taken_evicted_and_foreign() {
+        let (ctx, kp) = toy_ctx();
+        let ct = ctx.encrypt(&vec![0.1; ctx.slot_count()], &kp.public);
+        let store = CtStore::new(2);
+        let a = store.insert(1, ct.clone(), false);
+        let b = store.insert(1, ct.clone(), false);
+        // Never allocated.
+        assert_eq!(
+            store.get(1, 999).err(),
+            Some(ServeError::UnresolvedOperand(999))
+        );
+        // Foreign tenant.
+        assert_eq!(store.get(2, a).err(), Some(ServeError::CrossTenant(a)));
+        assert!(store.take(2, a).is_none(), "take refuses foreign ids too");
+        // Pressure evicts the coldest unpinned entry (a, untouched).
+        let c = store.insert(1, ct.clone(), false);
+        assert_eq!(store.get(1, a).err(), Some(ServeError::Evicted(a)));
+        assert!(store.get(1, b).is_ok());
+        assert!(store.get(1, c).is_ok());
+        assert_eq!(store.evictions(), 1);
+        // Taken is unresolved, not evicted.
+        assert!(store.take(1, b).is_some());
+        assert_eq!(
+            store.get(1, b).err(),
+            Some(ServeError::UnresolvedOperand(b))
+        );
+    }
+
+    #[test]
+    fn store_honors_pins_over_capacity() {
+        let (ctx, kp) = toy_ctx();
+        let ct = ctx.encrypt(&vec![0.1; ctx.slot_count()], &kp.public);
+        let store = CtStore::new(2);
+        let ids: Vec<CtId> = (0..4).map(|_| store.insert(1, ct.clone(), true)).collect();
+        // Everything pinned: the store runs over capacity, no pin is
+        // invalidated.
+        assert_eq!(store.len(), 4);
+        for &id in &ids {
+            assert!(store.get(1, id).is_ok());
+        }
+        // Releasing makes entries evictable again on the next insert.
+        store.set_pinned(1, ids[0], false).unwrap();
+        store.set_pinned(1, ids[1], false).unwrap();
+        let _ = store.insert(1, ct.clone(), false);
+        assert!(store.len() <= 3, "unpinned entries reclaimed");
+    }
+
+    #[test]
+    fn sessions_enforce_quota() {
+        let (ctx, kp) = toy_ctx();
+        let tenants = vec![TenantSpec::new(7, ServeKeys::new()).with_quota(2)];
+        // One worker and a tiny drain keep requests in flight long
+        // enough to observe the quota refusing the third submission.
+        let config = ServeConfig::new(TpuGeneration::V6e, 4)
+            .with_workers(1)
+            .with_drain_max(1);
+        let ct = ctx.encrypt(&vec![0.5; ctx.slot_count()], &kp.public);
+        serve_tenants(&ctx, tenants, &config, |server| {
+            let s = server.session(7);
+            let x = s.insert(ct.clone());
+            let mut pending = Vec::new();
+            let mut refused = 0;
+            for _ in 0..8 {
+                match s.add(x, x) {
+                    Ok(c) => pending.push(c),
+                    Err(SubmitError::TenantOverQuota) => refused += 1,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            assert!(
+                pending.len() <= 4,
+                "quota 2 cannot admit a large burst (got {})",
+                pending.len()
+            );
+            assert!(refused > 0, "over-quota submissions refused");
+            for c in pending {
+                c.wait().unwrap();
+            }
+            // Quota slots free as tickets resolve.
+            assert_eq!(s.in_flight(), 0);
+            assert!(s.add(x, x).is_ok());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_tenant_session_panics() {
+        let (ctx, _) = toy_ctx();
+        let tenants = vec![TenantSpec::new(1, ServeKeys::new())];
+        let config = ServeConfig::new(TpuGeneration::V6e, 4).with_workers(1);
+        serve_tenants(&ctx, tenants, &config, |server| {
+            let _ = server.session(2);
+        });
+    }
+}

@@ -17,6 +17,7 @@
 //! waterline.
 
 use crate::ir::{HeOpKind, NodeId, OpGraph};
+use crate::queue::TenantId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -175,6 +176,168 @@ pub fn random_graph(seed: u64, cfg: &GraphGenConfig) -> OpGraph {
     g
 }
 
+// ---------------------------------------------------------------------
+// Multi-tenant serving traffic
+// ---------------------------------------------------------------------
+
+/// One step of a tenant's serving chain. Every op consumes the
+/// tenant's *previous* result (`prev`, initially its base input), so
+/// a chain is valid whenever levels allow — no cross-scale `Add`s can
+/// arise and the whole trace replays eagerly without guards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChainOp {
+    /// `Add(prev, prev)` — level- and scale-preserving.
+    Add,
+    /// `Mult(prev, prev)` — drops a level, squares-and-rescales the
+    /// scale. The generator only emits it when the chain has a limb
+    /// to drop and the tracked scale stays well-behaved.
+    Mult,
+    /// `Rotate(prev, steps)` — level- and scale-preserving.
+    Rotate {
+        /// Rotation steps (a real key switch even at 0).
+        steps: usize,
+    },
+    /// `Rescale(prev)` — drops a level.
+    Rescale,
+}
+
+/// Shape of generated serving traffic.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Level every tenant's base input starts at.
+    pub max_level: usize,
+    /// `moduli[l-1]` is the modulus dropped at level `l` (see
+    /// [`GraphGenConfig::moduli`]).
+    pub moduli: Vec<f64>,
+    /// Scale of the base inputs.
+    pub base_scale: f64,
+    /// Rotation steps are drawn from `0..=max_steps`.
+    pub max_steps: usize,
+}
+
+impl TrafficConfig {
+    /// Traffic for ciphertexts of `ctx`-like shape: real moduli so
+    /// traces replay bit-exactly.
+    pub fn new(max_level: usize, moduli: Vec<f64>, base_scale: f64) -> Self {
+        Self {
+            max_level,
+            moduli,
+            base_scale,
+            max_steps: 3,
+        }
+    }
+}
+
+/// Zipf-ish request shares over `tenants` summing to (at least)
+/// `total`: tenant `i` (rank order as given) gets a share ∝
+/// `1/(i+1)`, floored at one request — the classic skewed serving mix
+/// where one hot tenant dominates a long tail.
+pub fn zipf_shares(tenants: &[TenantId], total: usize) -> Vec<(TenantId, usize)> {
+    assert!(!tenants.is_empty());
+    let h: f64 = (1..=tenants.len()).map(|r| 1.0 / r as f64).sum();
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let share = (total as f64 / ((i + 1) as f64 * h)).round() as usize;
+            (t, share.max(1))
+        })
+        .collect()
+}
+
+/// Deterministically generates a mixed-tenant serving trace: same
+/// `(seed, shares, cfg)` ⇒ same trace. `shares[i] = (tenant,
+/// requests)`; the interleaving draws each next request from the
+/// tenants with remaining quota, weighted by how much each has left —
+/// a heavy tenant floods the front door, a light one trickles, and
+/// every tenant's own requests appear in chain order.
+///
+/// Per-tenant validity is tracked exactly like [`random_graph`]: the
+/// generator only emits [`ChainOp::Mult`]/[`ChainOp::Rescale`] while
+/// the tenant's chain has a limb to drop and the resulting scale
+/// stays far from f64 trouble, falling back to rotations otherwise.
+/// Replaying a tenant's subsequence eagerly therefore never trips the
+/// evaluator.
+pub fn tenant_trace(
+    seed: u64,
+    shares: &[(TenantId, usize)],
+    cfg: &TrafficConfig,
+) -> Vec<(TenantId, ChainOp)> {
+    assert!(cfg.max_level >= 2, "need a limb to drop for Mult/Rescale");
+    assert_eq!(cfg.moduli.len(), cfg.max_level, "one modulus per level");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining: Vec<(TenantId, usize)> = shares.to_vec();
+    // Per-tenant chain state: (level, scale) of `prev`.
+    let mut state: std::collections::BTreeMap<TenantId, Meta> = shares
+        .iter()
+        .map(|&(t, _)| (t, (cfg.max_level, cfg.base_scale)))
+        .collect();
+    let total: usize = shares.iter().map(|&(_, n)| n).sum();
+    let mut trace = Vec::with_capacity(total);
+    for _ in 0..total {
+        // Weighted draw over remaining quotas.
+        let left: usize = remaining.iter().map(|&(_, n)| n).sum();
+        let mut pick = rng.gen_range(0..left);
+        let slot = remaining
+            .iter_mut()
+            .find(|(_, n)| {
+                if pick < *n {
+                    true
+                } else {
+                    pick -= *n;
+                    false
+                }
+            })
+            .expect("pick < sum of remaining");
+        let tenant = slot.0;
+        slot.1 -= 1;
+        let (level, scale) = state[&tenant];
+        let op = match rng.gen_range(0u32..10) {
+            // Rotations dominate real workloads; here too.
+            0..=4 => ChainOp::Rotate {
+                steps: rng.gen_range(0..=cfg.max_steps),
+            },
+            5 | 6 => ChainOp::Add,
+            7 | 8 => {
+                let s = scale * scale / cfg.moduli[level.saturating_sub(1)];
+                if level >= 2 && scale_ok(s) {
+                    state.insert(tenant, (level - 1, s));
+                    ChainOp::Mult
+                } else {
+                    ChainOp::Rotate {
+                        steps: rng.gen_range(0..=cfg.max_steps),
+                    }
+                }
+            }
+            _ => {
+                let s = scale / cfg.moduli[level.saturating_sub(1)];
+                if level >= 2 && scale_ok(s) {
+                    state.insert(tenant, (level - 1, s));
+                    ChainOp::Rescale
+                } else {
+                    ChainOp::Rotate {
+                        steps: rng.gen_range(0..=cfg.max_steps),
+                    }
+                }
+            }
+        };
+        trace.push((tenant, op));
+    }
+    trace
+}
+
+/// The rotation steps a trace uses (generate exactly these rotation
+/// keys per tenant before serving/replaying it).
+pub fn trace_rotation_steps(trace: &[(TenantId, ChainOp)]) -> std::collections::BTreeSet<usize> {
+    trace
+        .iter()
+        .filter_map(|&(_, op)| match op {
+            ChainOp::Rotate { steps } => Some(steps),
+            _ => None,
+        })
+        .collect()
+}
+
 /// The set of rotation steps a graph uses (callers generate exactly
 /// these rotation keys before replaying).
 pub fn rotation_steps(graph: &OpGraph) -> std::collections::BTreeSet<usize> {
@@ -203,6 +366,31 @@ mod tests {
         // construction; spot-check the advertised shape.
         assert!(a.len() > 40, "each draw emits at least one op");
         assert!(a.nodes().iter().all(|n| n.batch == 1));
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_share_shaped() {
+        let cfg = TrafficConfig::new(8, vec![(1u64 << 28) as f64; 8], (1u64 << 28) as f64);
+        let shares = zipf_shares(&[1, 2, 3, 4], 100);
+        // Rank 1 dominates, every tenant gets service.
+        assert!(shares[0].1 > shares[3].1 * 3);
+        assert!(shares.iter().all(|&(_, n)| n >= 1));
+        let a = tenant_trace(9, &shares, &cfg);
+        assert_eq!(a, tenant_trace(9, &shares, &cfg), "same seed, same trace");
+        assert_ne!(a, tenant_trace(10, &shares, &cfg));
+        for &(t, want) in &shares {
+            let got = a.iter().filter(|&&(x, _)| x == t).count();
+            assert_eq!(got, want, "tenant {t} appears exactly its share");
+        }
+        // Chains never over-consume levels: at most max_level - 1
+        // level-dropping ops per tenant.
+        for &(t, _) in &shares {
+            let drops = a
+                .iter()
+                .filter(|&&(x, op)| x == t && matches!(op, ChainOp::Mult | ChainOp::Rescale))
+                .count();
+            assert!(drops < cfg.max_level);
+        }
     }
 
     #[test]
