@@ -18,7 +18,11 @@
 //!   multi-tenant serving layer (ISSUE 8): `fairness_err` /
 //!   `fairness_bound` are deterministic completion counts; the
 //!   p50/p99 latency and `inv_occupancy` keys are wall-clock with the
-//!   same refresh remedy as `batched_ntt`.
+//!   same refresh remedy as `batched_ntt`. The `ks_path` keys guard
+//!   the key-switching fast path (ISSUE 9): wall-clock, with two
+//!   failing pairs — `ks_path/fast/*` must beat `ks_path/reference/*`
+//!   at every level, and `ks_path/hoisted_8rot` must beat
+//!   `ks_path/eager_8rot`.
 //! * **Warn-only** — every other wall-clock key: the stub's
 //!   fixed-window measurements on shared CI runners are indicative,
 //!   not statistically sound, so those regressions are surfaced for a
@@ -49,7 +53,7 @@ const WARN_RATIO: f64 = 1.5;
 const FAIL_RATIO: f64 = 1.25;
 
 /// Key prefixes held to the failing [`FAIL_RATIO`] gate.
-const GATED_PREFIXES: [&str; 7] = [
+const GATED_PREFIXES: [&str; 8] = [
     "batched_ntt/",
     "ntt_engines/six_step",
     "pod_table8/",
@@ -57,6 +61,7 @@ const GATED_PREFIXES: [&str; 7] = [
     "sched_model/",
     "opt_model/",
     "serve_tenants/",
+    "ks_path/",
 ];
 
 fn gated(label: &str) -> bool {
@@ -148,6 +153,13 @@ fn main() {
         // must beat (stay under) its pinned bound — both counts, not
         // wall-clock, so this pair fails hard.
         ("/fairness_err/", "/fairness_bound/", true),
+        // Key-switching fast path (ISSUE 9): the cached-plan path must
+        // beat the pre-plan reference at every level, and one hoisted
+        // decomposition feeding 8 rotations must beat 8 eager rotates.
+        // Both sides are asserted bit-identical inside the bench
+        // before timing, so a win can never come from divergence.
+        ("ks_path/fast/", "ks_path/reference/", true),
+        ("ks_path/hoisted_8rot", "ks_path/eager_8rot", true),
     ];
     for (label, &ns) in &results {
         for (fused_tag, other_tag, gating) in pairs {

@@ -16,13 +16,15 @@
 use crate::ciphertext::Ciphertext;
 use crate::eval::Evaluator;
 use crate::keys::SwitchingKey;
+use crate::ks_plan::KsPlan;
 use cross_core::bconv::BconvKernel;
 use cross_core::modred::ModRed;
 use cross_math::modops;
 use cross_math::rns::RnsBasis;
 use cross_poly::ring::Domain;
-use cross_poly::rns_poly::RnsPoly;
-use cross_poly::PolyBatch;
+use cross_poly::rns_poly::{RnsContext, RnsPoly};
+use cross_poly::{six_step, small_ntt, PolyBatch};
+use std::sync::Arc;
 
 /// A batch of same-level CKKS ciphertexts in batch-major layout.
 #[derive(Debug, Clone)]
@@ -162,12 +164,86 @@ impl<'a> Evaluator<'a> {
         self.rescale_batch(&ct)
     }
 
-    /// Batched rescale: one fused INTT/NTT pair per limb across the
-    /// whole batch. Bit-exact with looping [`Evaluator::rescale`].
+    /// Batched rescale on the key-switching fast path: only the
+    /// dropped limb leaves the evaluation domain (`1 INTT + (l-1) NTT`
+    /// instead of `l INTT + (l-1) NTT`), the surviving limbs are
+    /// updated pointwise in evaluation form — exact by NTT linearity:
+    /// `NTT((c_i − cl_i)·q_last⁻¹) = (NTT(c_i) − NTT(cl_i))·q_last⁻¹`
+    /// since every map involved is an exact function mod `q_i` — and
+    /// `q_last⁻¹ mod q_i` comes as a precomputed Shoup pair off the
+    /// cached [`KsPlan`]. Bit-exact with looping [`Evaluator::rescale`]
+    /// and with [`Evaluator::rescale_batch_reference`]
+    /// (`tests/ks_fast.rs`).
     ///
     /// # Panics
     /// Panics at level 1 (no limb left to drop).
     pub fn rescale_batch(&self, ct: &BatchedCiphertext) -> BatchedCiphertext {
+        assert!(ct.level >= 2, "cannot rescale at level 1");
+        let ctx = self.context();
+        let l = ct.level;
+        let batch = ct.batch();
+        let n = ctx.params().n;
+        let q_last = ctx.q_moduli()[l - 1];
+        let plan = ctx.ks_plan(l).clone();
+        let old_ctx = ctx.level_ctx(l).clone();
+        let new_ctx = ctx.level_ctx(l - 1).clone();
+        let rescale_pb = |p: &PolyBatch| -> PolyBatch {
+            // Ciphertext components live in evaluation form; take the
+            // (rare) coefficient-domain caller through one conversion.
+            let p_eval_owned;
+            let pe: &PolyBatch = if p.domain() == Domain::Evaluation {
+                p
+            } else {
+                p_eval_owned = {
+                    let mut c = p.clone();
+                    c.to_evaluation();
+                    c
+                };
+                &p_eval_owned
+            };
+            // The dropped limb is the only one that needs coefficients.
+            let mut last = pe.limbs()[l - 1].clone();
+            for seg in last.chunks_mut(n) {
+                six_step::inverse_inplace(seg, &old_ctx.tables()[l - 1]);
+            }
+            let mut new_limbs = Vec::with_capacity(l - 1);
+            for i in 0..l - 1 {
+                let qi = new_ctx.moduli()[i];
+                let (inv, inv_shoup) = plan.rescale_inv.get(i);
+                // centered last-limb residue for round-to-nearest,
+                // lifted into q_i and carried to evaluation form
+                let mut cl: Vec<u64> = last
+                    .iter()
+                    .map(|&c| modops::from_signed(modops::to_signed(c, q_last), qi))
+                    .collect();
+                for seg in cl.chunks_mut(n) {
+                    six_step::forward_inplace(seg, &new_ctx.tables()[i]);
+                }
+                let limb: Vec<u64> = pe.limbs()[i]
+                    .iter()
+                    .zip(&cl)
+                    .map(|(&ci, &cli)| {
+                        small_ntt::shoup_mul(modops::sub_mod(ci, cli, qi), inv, inv_shoup, qi)
+                    })
+                    .collect();
+                new_limbs.push(limb);
+            }
+            PolyBatch::from_limbs(new_ctx.clone(), batch, new_limbs, Domain::Evaluation)
+        };
+        BatchedCiphertext {
+            c0: rescale_pb(&ct.c0),
+            c1: rescale_pb(&ct.c1),
+            level: l - 1,
+            scales: ct.scales.iter().map(|s| s / q_last as f64).collect(),
+        }
+    }
+
+    /// The pre-plan rescale oracle (PR 2 arithmetic, all limbs through
+    /// a full INTT/NTT round trip, `inv_mod` recomputed per limb).
+    /// Kept verbatim as the differential reference for
+    /// [`Evaluator::rescale_batch`]; `tests/ks_fast.rs` pins the two
+    /// bit-identical.
+    pub fn rescale_batch_reference(&self, ct: &BatchedCiphertext) -> BatchedCiphertext {
         assert!(ct.level >= 2, "cannot rescale at level 1");
         let l = ct.level;
         let batch = ct.batch();
@@ -216,15 +292,17 @@ impl<'a> Evaluator<'a> {
         rot_key: &SwitchingKey,
     ) -> BatchedCiphertext {
         let g = self.context().galois_element(steps);
-        let mut c0 = ct.c0.clone();
+        let perms = self.context().galois_eval_perm(g);
+        // c0 and the evaluation-form c1 rotate as transform-free index
+        // gathers (NTT(σ_g(c)) = π_g(NTT(c)), exact); only the digit
+        // source needs coefficient form, so one INTT of c1 is the
+        // whole transform bill before the key switch.
+        let c0r = ct.c0.gather_eval(&perms);
+        let c1r_eval = ct.c1.gather_eval(&perms);
         let mut c1 = ct.c1.clone();
-        c0.to_coefficient();
         c1.to_coefficient();
-        let mut c0r = c0.automorphism(g);
-        let mut c1r = c1.automorphism(g);
-        c0r.to_evaluation();
-        c1r.to_evaluation();
-        let (k0, k1) = self.key_switch_batch(&c1r, rot_key);
+        let c1r_coeff = c1.automorphism(g);
+        let (k0, k1) = self.key_switch_core(&c1r_eval, &c1r_coeff, rot_key);
         BatchedCiphertext {
             c0: c0r.add(&k0),
             c1: k1,
@@ -233,12 +311,189 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Batched hybrid key switching: digit decomposition, fast base
-    /// extension and the key inner products all run over the fused
-    /// `batch · N` rows (the BConv matmul sees `N·batch` streamed rows,
-    /// the key limbs broadcast across the batch). Bit-exact with
-    /// looping [`Evaluator::key_switch`].
+    /// Batched hybrid key switching on the cached-plan fast path:
+    /// digit decomposition, fast base extension and the key inner
+    /// products all run over the fused `batch · N` rows (the BConv
+    /// matmul sees `N·batch` streamed rows, the key limbs broadcast
+    /// across the batch). Bit-exact with looping
+    /// [`Evaluator::key_switch`] and with
+    /// [`Evaluator::key_switch_batch_reference`] (`tests/ks_fast.rs`).
     pub fn key_switch_batch(&self, d: &PolyBatch, key: &SwitchingKey) -> (PolyBatch, PolyBatch) {
+        // The core wants both domain forms; derive the missing one.
+        match d.domain() {
+            Domain::Evaluation => {
+                let mut d_coeff = d.clone();
+                d_coeff.to_coefficient();
+                self.key_switch_core(d, &d_coeff, key)
+            }
+            Domain::Coefficient => {
+                let mut d_eval = d.clone();
+                d_eval.to_evaluation();
+                self.key_switch_core(&d_eval, d, key)
+            }
+        }
+    }
+
+    /// Single-polynomial key switch over already-prepared domain forms
+    /// (the hoisted-rotation path: the caller owns the coefficient
+    /// form, so nothing is INTT'd twice).
+    pub(crate) fn key_switch_prepared(
+        &self,
+        d_eval: &RnsPoly,
+        d_coeff: &RnsPoly,
+        key: &SwitchingKey,
+    ) -> (RnsPoly, RnsPoly) {
+        let e = PolyBatch::from_polys(std::slice::from_ref(d_eval));
+        let c = PolyBatch::from_polys(std::slice::from_ref(d_coeff));
+        let (out0, out1) = self.key_switch_core(&e, &c, key);
+        (out0.poly(0), out1.poly(0))
+    }
+
+    /// The key-switching fast path (DESIGN.md §12). Three wins over the
+    /// reference dataflow, each exact:
+    ///
+    /// 1. **No per-op compilation** — BConv kernels, slot layouts and
+    ///    scaling constants come off the per-level [`KsPlan`] cached on
+    ///    the context.
+    /// 2. **Digit limbs sliced, not round-tripped** — a digit's own
+    ///    limbs are already held in evaluation form by `d_eval`, so
+    ///    only the base-extended limbs pay a forward NTT
+    ///    (`NTT(INTT(x)) = x` bit-for-bit: the transforms are exact
+    ///    mutually-inverse bijections on canonical residue vectors).
+    /// 3. **Lazy accumulation** — key inner products accumulate across
+    ///    digits in `< 2q` Shoup form into reused scratch
+    ///    ([`small_ntt::ShoupPairs::mul_acc_lazy_slice`]) with one
+    ///    strict reduction at the end; congruence mod `q` plus a
+    ///    canonical final fold make the result bit-identical to the
+    ///    strict add-per-digit chain.
+    fn key_switch_core(
+        &self,
+        d_eval: &PolyBatch,
+        d_coeff: &PolyBatch,
+        key: &SwitchingKey,
+    ) -> (PolyBatch, PolyBatch) {
+        debug_assert_eq!(d_eval.domain(), Domain::Evaluation);
+        debug_assert_eq!(d_coeff.domain(), Domain::Coefficient);
+        let ctx = self.context();
+        let l = d_eval.level_count();
+        let batch = d_eval.batch();
+        let n = ctx.params().n;
+        let ks_ctx = ctx.ks_ctx(l).clone();
+        let plan = ctx.ks_plan(l).clone();
+        let big_l = ctx.params().limbs;
+        let k = ctx.p_moduli().len();
+        let total = l + k;
+        let rows = batch * n;
+
+        // Lazy (< 2q) accumulators over the extended chain.
+        let mut acc0: Vec<Vec<u64>> = (0..total).map(|_| vec![0u64; rows]).collect();
+        let mut acc1 = acc0.clone();
+
+        for (j, dp) in plan.digits.iter().enumerate() {
+            // fast base extension of the digit, all batch rows fused
+            let src: Vec<&[u64]> = dp
+                .range
+                .clone()
+                .map(|i| d_coeff.limbs()[i].as_slice())
+                .collect();
+            let mut converted = dp.kernel.convert_slices(&src);
+            // only the extended limbs need a forward transform
+            for (ci, limb) in converted.iter_mut().enumerate() {
+                let tables = &ks_ctx.tables()[dp.other_idx[ci]];
+                for seg in limb.chunks_mut(n) {
+                    six_step::forward_inplace(seg, tables);
+                }
+            }
+            let shoup = key.digits[j].shoup(ctx.chain()).clone();
+            for t in 0..total {
+                let qt = ks_ctx.moduli()[t];
+                let src_limb: &[u64] = match dp.conv_pos[t] {
+                    Some(ci) => &converted[ci],
+                    // the digit's own limbs, straight out of the
+                    // evaluation-domain input
+                    None => &d_eval.limbs()[t],
+                };
+                // key limbs for this level: q indices 0..l, then the
+                // extension indices big_l.. of the global chain
+                let g = if t < l { t } else { big_l + (t - l) };
+                let (kb, ka) = (&shoup.b[g], &shoup.a[g]);
+                for (b, seg) in src_limb.chunks(n).enumerate() {
+                    kb.mul_acc_lazy_slice(0, seg, &mut acc0[t][b * n..(b + 1) * n], qt);
+                    ka.mul_acc_lazy_slice(0, seg, &mut acc1[t][b * n..(b + 1) * n], qt);
+                }
+            }
+        }
+        // one strict pass closes the whole lazy accumulation chain
+        for (t, &qt) in ks_ctx.moduli().iter().enumerate() {
+            small_ntt::reduce_strict_slice(&mut acc0[t], qt);
+            small_ntt::reduce_strict_slice(&mut acc1[t], qt);
+        }
+        (
+            self.mod_down_fast(&plan, &ks_ctx, acc0, l, batch),
+            self.mod_down_fast(&plan, &ks_ctx, acc1, l, batch),
+        )
+    }
+
+    /// Divides an extended (`Q_l·P`) limb set by `P` on the fast path:
+    /// only the `k` extension limbs are INTT'd (the BConv input), the
+    /// converted correction comes back to evaluation form, and the
+    /// subtract-and-scale runs pointwise in the evaluation domain with
+    /// the plan's `P⁻¹` Shoup pairs — exact by NTT linearity, saving
+    /// the `l` inverse transforms the reference pays. Input limbs are
+    /// canonical evaluation-domain residues over the ks chain.
+    fn mod_down_fast(
+        &self,
+        plan: &Arc<KsPlan>,
+        ks_ctx: &Arc<RnsContext>,
+        mut limbs: Vec<Vec<u64>>,
+        l: usize,
+        batch: usize,
+    ) -> PolyBatch {
+        let ctx = self.context();
+        let n = ctx.params().n;
+        let level_ctx = ctx.level_ctx(l).clone();
+        let total = limbs.len();
+        for (t, limb) in limbs.iter_mut().enumerate().take(total).skip(l) {
+            let tables = &ks_ctx.tables()[t];
+            for seg in limb.chunks_mut(n) {
+                six_step::inverse_inplace(seg, tables);
+            }
+        }
+        let p_slices: Vec<&[u64]> = limbs[l..].iter().map(|v| v.as_slice()).collect();
+        let mut cp = plan.mod_down.convert_slices(&p_slices);
+        for (i, limb) in cp.iter_mut().enumerate() {
+            let tables = &level_ctx.tables()[i];
+            for seg in limb.chunks_mut(n) {
+                six_step::forward_inplace(seg, tables);
+            }
+        }
+        let mut new_limbs = Vec::with_capacity(l);
+        for i in 0..l {
+            let qi = level_ctx.moduli()[i];
+            let (p_inv, p_inv_shoup) = plan.p_inv.get(i);
+            let limb: Vec<u64> = limbs[i]
+                .iter()
+                .zip(&cp[i])
+                .map(|(&ci, &cpi)| {
+                    // BConv output is already < q_i — subtract directly
+                    small_ntt::shoup_mul(modops::sub_mod(ci, cpi, qi), p_inv, p_inv_shoup, qi)
+                })
+                .collect();
+            new_limbs.push(limb);
+        }
+        PolyBatch::from_limbs(level_ctx, batch, new_limbs, Domain::Evaluation)
+    }
+
+    /// The pre-plan key-switch oracle: per-call kernel compilation,
+    /// full `l+k`-limb NTT of every extended digit, strict add-reduce
+    /// per digit. Kept as the differential reference for
+    /// [`Evaluator::key_switch_batch`]; `tests/ks_fast.rs` and the
+    /// `ks_path` bench pin the two bit-identical.
+    pub fn key_switch_batch_reference(
+        &self,
+        d: &PolyBatch,
+        key: &SwitchingKey,
+    ) -> (PolyBatch, PolyBatch) {
         let ctx = self.context();
         let l = d.level_count();
         let batch = d.batch();
@@ -280,13 +535,14 @@ impl<'a> Evaluator<'a> {
                 let kernel = BconvKernel::compile(&table, n, ModRed::Montgomery);
                 kernel.convert_reference(&digit_limbs)
             };
-            // assemble the extended batch over the ks chain
+            // assemble the extended batch over the ks chain (the digit
+            // limbs move in — they have no further reader this digit)
             let mut ext_limbs: Vec<Vec<u64>> = vec![Vec::new(); l + ps.len()];
-            for (offset, i) in range.clone().enumerate() {
-                ext_limbs[i] = digit_limbs[offset].clone();
+            for (limb, i) in digit_limbs.into_iter().zip(range.clone()) {
+                ext_limbs[i] = limb;
             }
-            for (ci, &target_slot) in other_idx.iter().enumerate() {
-                ext_limbs[target_slot] = converted[ci].clone();
+            for (limb, &target_slot) in converted.into_iter().zip(&other_idx) {
+                ext_limbs[target_slot] = limb;
             }
             let mut ext =
                 PolyBatch::from_limbs(ks_ctx.clone(), batch, ext_limbs, Domain::Coefficient);
@@ -305,12 +561,17 @@ impl<'a> Evaluator<'a> {
             acc0 = acc0.add(&ext.mul_pointwise_poly(&kb));
             acc1 = acc1.add(&ext.mul_pointwise_poly(&ka));
         }
-        (self.mod_down_batch(&acc0, l), self.mod_down_batch(&acc1, l))
+        (
+            self.mod_down_batch_reference(&acc0, l),
+            self.mod_down_batch_reference(&acc1, l),
+        )
     }
 
     /// Divides an extended (`Q_l·P`) batch by `P`, returning a
-    /// level-`l` batch (evaluation domain).
-    fn mod_down_batch(&self, c: &PolyBatch, l: usize) -> PolyBatch {
+    /// level-`l` batch (evaluation domain). Pre-plan reference
+    /// dataflow: full INTT of all `l+k` limbs, per-call kernel
+    /// compilation and `inv_mod`, coefficient-domain correction.
+    fn mod_down_batch_reference(&self, c: &PolyBatch, l: usize) -> PolyBatch {
         let ctx = self.context();
         let n = ctx.params().n;
         let batch = c.batch();
@@ -330,7 +591,8 @@ impl<'a> Evaluator<'a> {
             let limb: Vec<u64> = cc.limbs()[i]
                 .iter()
                 .zip(&cp[i])
-                .map(|(&ci, &cpi)| modops::mul_mod(modops::sub_mod(ci, cpi % qi, qi), p_inv, qi))
+                // BConv output is already reduced < q_i
+                .map(|(&ci, &cpi)| modops::mul_mod(modops::sub_mod(ci, cpi, qi), p_inv, qi))
                 .collect();
             new_limbs.push(limb);
         }

@@ -4,16 +4,18 @@
 use crate::ciphertext::Ciphertext;
 use crate::encoder::CkksEncoder;
 use crate::keys::{KeyPair, PublicKey, SecretKey, SwitchingKey, SwitchingKeyDigit};
+use crate::ks_plan::KsPlan;
 use crate::params::CkksParams;
 use cross_math::bigint::BigUint;
 use cross_math::{modops, primes};
 use cross_poly::ring::Domain;
 use cross_poly::rns_poly::{RnsContext, RnsPoly};
 use cross_poly::sampling;
-use cross_poly::NttTables;
+use cross_poly::{six_step, NttTables};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A fully precomputed CKKS context.
 ///
@@ -34,6 +36,12 @@ pub struct CkksContext {
     full_ctx: Arc<RnsContext>,
     /// `P = Π p_i`.
     big_p: BigUint,
+    /// `ks_plans[l-1]`: lazily built key-switching plan for level `l`
+    /// (compiled BConv kernels, slot layouts, Shoup constants).
+    ks_plans: Vec<OnceLock<Arc<KsPlan>>>,
+    /// Cached evaluation-domain Galois permutations, one table per
+    /// chain limb, keyed by the Galois element `g`.
+    galois_perms: Mutex<HashMap<u64, Arc<Vec<Vec<u32>>>>>,
     rng: Mutex<StdRng>,
 }
 
@@ -74,6 +82,8 @@ impl CkksContext {
             ks_ctxs,
             full_ctx,
             big_p,
+            ks_plans: (0..params.limbs).map(|_| OnceLock::new()).collect(),
+            galois_perms: Mutex::new(HashMap::new()),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -121,6 +131,78 @@ impl CkksContext {
     /// RNS context for level `l` plus the extension basis.
     pub fn ks_ctx(&self, l: usize) -> &Arc<RnsContext> {
         &self.ks_ctxs[l - 1]
+    }
+
+    /// The key-switching plan for level `l`, compiled on first use and
+    /// cached for the context's lifetime (same `OnceLock<Arc<_>>`
+    /// pattern as the six-step NTT plan) — repeated calls return the
+    /// same `Arc`, so `BconvKernel::compile` never sits on a per-op
+    /// path after warmup.
+    pub fn ks_plan(&self, l: usize) -> &Arc<KsPlan> {
+        self.ks_plans[l - 1].get_or_init(|| Arc::new(KsPlan::build(self, l)))
+    }
+
+    /// Evaluation-domain permutation tables for Galois element `g`,
+    /// one per chain limb (chain order), built once per `g` and cached.
+    ///
+    /// Index `i` of the forward transform holds the evaluation at
+    /// `ψ^{e_i}` for an odd exponent `e_i`; the automorphism `σ_g`
+    /// maps that value to the evaluation at `ψ^{g·e_i mod 2N}` —
+    /// another odd power, so `NTT(σ_g(c)) = π_g(NTT(c))` is a pure
+    /// index gather, bit-exact and transform-free. The engine's
+    /// output ordering is recovered empirically per modulus by
+    /// transforming the monomial `x` (its transform *is* the point
+    /// list) and inverting `ψ^e` through a power table.
+    pub fn galois_eval_perm(&self, g: u64) -> Arc<Vec<Vec<u32>>> {
+        let mut cache = self.galois_perms.lock().unwrap();
+        if let Some(p) = cache.get(&g) {
+            return p.clone();
+        }
+        let perms = Arc::new(self.build_galois_eval_perm(g));
+        cache.insert(g, perms.clone());
+        perms
+    }
+
+    fn build_galois_eval_perm(&self, g: u64) -> Vec<Vec<u32>> {
+        assert!(g % 2 == 1, "Galois elements must be odd");
+        let n = self.params.n;
+        let two_n = 2 * n as u64;
+        let g = g % two_n;
+        let full = self.ks_ctx(self.params.limbs);
+        full.tables()
+            .iter()
+            .map(|t| {
+                // the transform of the monomial x lists the engine's
+                // evaluation points in output order
+                let mut v = vec![0u64; n];
+                v[1] = 1;
+                six_step::forward_inplace(&mut v, t);
+                let mut exp_of = HashMap::with_capacity(n);
+                for e in (1..two_n).step_by(2) {
+                    exp_of.insert(t.psi_power(e), e);
+                }
+                let exps: Vec<u64> = v
+                    .iter()
+                    .map(|vi| {
+                        *exp_of
+                            .get(vi)
+                            .expect("forward NTT output must be a pure evaluation map")
+                    })
+                    .collect();
+                let mut index_of = vec![u32::MAX; 2 * n];
+                for (i, &e) in exps.iter().enumerate() {
+                    index_of[e as usize] = i as u32;
+                }
+                // out[i] = in[j] with e_j = g·e_i mod 2N
+                exps.iter()
+                    .map(|&e| {
+                        let src = index_of[(g * e % two_n) as usize];
+                        debug_assert_ne!(src, u32::MAX, "odd exponents are closed under g");
+                        src
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Limb indices of key-switching digit `j` at level `l`
@@ -285,10 +367,7 @@ impl CkksContext {
         let w_res: Vec<u64> = self.chain.iter().map(|&m| w_j.mod_u64(m)).collect();
         let wsp = sp.mul_scalar_per_limb(&w_res);
         let b = a.mul_pointwise(&s).neg().add(&e_poly).add(&wsp);
-        SwitchingKeyDigit {
-            b: b.limbs().to_vec(),
-            a: a.limbs().to_vec(),
-        }
+        SwitchingKeyDigit::new(b.limbs().to_vec(), a.limbs().to_vec())
     }
 
     // ------------------------------------------------------------------

@@ -14,6 +14,22 @@ pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
 }
 
+/// The hoisted (rotation-independent) prefix of a Galois fan-out:
+/// both components in evaluation form (rotated by a transform-free
+/// index gather per rotation) plus `c1` in coefficient form (the
+/// digit source every per-rotation key switch decomposes), ready for
+/// [`Evaluator::hoisted_rotate`].
+#[derive(Debug, Clone)]
+pub struct HoistedDecomposition {
+    pub(crate) c0_eval: RnsPoly,
+    pub(crate) c1_eval: RnsPoly,
+    pub(crate) c1_coeff: RnsPoly,
+    /// Level of the source ciphertext.
+    pub level: usize,
+    /// Scale of the source ciphertext.
+    pub scale: f64,
+}
+
 impl<'a> Evaluator<'a> {
     /// Binds an evaluator to a context.
     pub fn new(ctx: &'a CkksContext) -> Self {
@@ -164,43 +180,94 @@ impl<'a> Evaluator<'a> {
     }
 
     /// HE-Rotate by `steps` slots (Galois automorphism + key switch).
+    /// Runs as the one-rotation case of the hoisted pipeline: one
+    /// decomposition (the INTT of both components), then one Galois
+    /// application — so a lone rotate and a hoisted fan-out execute
+    /// the same code and stay bit-identical by construction.
     pub fn rotate(&self, ct: &Ciphertext, steps: usize, rot_key: &SwitchingKey) -> Ciphertext {
-        let g = self.ctx.galois_element(steps);
-        let mut c0 = ct.c0.clone();
-        let mut c1 = ct.c1.clone();
-        c0.to_coefficient();
-        c1.to_coefficient();
-        let mut c0r = c0.automorphism(g);
-        let mut c1r = c1.automorphism(g);
-        c0r.to_evaluation();
-        c1r.to_evaluation();
-        let (k0, k1) = self.key_switch(&c1r, rot_key);
-        Ciphertext {
-            c0: c0r.add(&k0),
-            c1: k1,
-            level: ct.level,
-            scale: ct.scale,
-        }
+        self.apply_galois(
+            &self.hoist_decompose(ct),
+            self.ctx.galois_element(steps),
+            rot_key,
+        )
     }
 
     /// Slot-wise complex conjugation (`σ_{2N-1}` + key switch with the
     /// conjugation key).
     pub fn conjugate(&self, ct: &Ciphertext, conj_key: &SwitchingKey) -> Ciphertext {
         let g = 2 * self.ctx.params().n as u64 - 1;
-        let mut c0 = ct.c0.clone();
-        let mut c1 = ct.c1.clone();
-        c0.to_coefficient();
-        c1.to_coefficient();
-        let mut c0r = c0.automorphism(g);
-        let mut c1r = c1.automorphism(g);
-        c0r.to_evaluation();
-        c1r.to_evaluation();
-        let (k0, k1) = self.key_switch(&c1r, conj_key);
+        self.apply_galois(&self.hoist_decompose(ct), g, conj_key)
+    }
+
+    /// Hoists the rotation-independent prefix of a Galois operation:
+    /// the inverse transform of `c1` (the digit source of every
+    /// per-rotation key switch). Every rotation sharing the source
+    /// ciphertext reuses this instead of re-INTT'ing — `l` inverse
+    /// transforms saved per additional rotation in a fan-out. `c0`
+    /// needs no transform at all: the automorphism runs as an
+    /// evaluation-domain gather ([`CkksContext::galois_eval_perm`]).
+    ///
+    /// The base extension is **not** hoisted: fast BConv does not
+    /// commute bit-exactly with the signed negacyclic automorphism
+    /// (the permutation's sign flips shift the approximate
+    /// base-extension error by `L·Q mod p` — DESIGN.md §12), and the
+    /// hoisted path is pinned bit-identical to independent rotates.
+    pub fn hoist_decompose(&self, ct: &Ciphertext) -> HoistedDecomposition {
+        let mut c1_coeff = ct.c1.clone();
+        c1_coeff.to_coefficient();
+        HoistedDecomposition {
+            c0_eval: ct.c0.clone(),
+            c1_eval: ct.c1.clone(),
+            c1_coeff,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// One rotation off a hoisted decomposition: Galois permutation of
+    /// the coefficient forms, then a key switch fed both domain forms
+    /// (no redundant INTT round trip). Bit-identical to
+    /// [`Evaluator::rotate`] on the source ciphertext.
+    pub fn hoisted_rotate(
+        &self,
+        h: &HoistedDecomposition,
+        steps: usize,
+        rot_key: &SwitchingKey,
+    ) -> Ciphertext {
+        self.apply_galois(h, self.ctx.galois_element(steps), rot_key)
+    }
+
+    /// A rotation fan-out over one ciphertext: decomposes once, then
+    /// applies each `(steps, key)` rotation off the shared prefix.
+    /// Bit-identical to `k` independent [`Evaluator::rotate`] calls.
+    pub fn hoisted_rotations(
+        &self,
+        ct: &Ciphertext,
+        rotations: &[(usize, &SwitchingKey)],
+    ) -> Vec<Ciphertext> {
+        let h = self.hoist_decompose(ct);
+        rotations
+            .iter()
+            .map(|&(steps, key)| self.hoisted_rotate(&h, steps, key))
+            .collect()
+    }
+
+    /// Shared Galois tail: gather both evaluation forms through the
+    /// cached index permutation (`NTT(σ_g(c)) = π_g(NTT(c))`, exact —
+    /// zero transforms), permute the coefficient-form `c1` for the
+    /// digit decomposition, and key-switch with both domain forms
+    /// prepared.
+    fn apply_galois(&self, h: &HoistedDecomposition, g: u64, key: &SwitchingKey) -> Ciphertext {
+        let perms = self.ctx.galois_eval_perm(g);
+        let c0r = h.c0_eval.gather_eval(&perms);
+        let c1r_eval = h.c1_eval.gather_eval(&perms);
+        let c1r_coeff = h.c1_coeff.automorphism(g);
+        let (k0, k1) = self.key_switch_prepared(&c1r_eval, &c1r_coeff, key);
         Ciphertext {
             c0: c0r.add(&k0),
             c1: k1,
-            level: ct.level,
-            scale: ct.scale,
+            level: h.level,
+            scale: h.scale,
         }
     }
 

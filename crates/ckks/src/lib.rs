@@ -41,12 +41,14 @@ pub mod costs;
 pub mod encoder;
 pub mod eval;
 pub mod keys;
+pub mod ks_plan;
 pub mod params;
 
 pub use batched::BatchedCiphertext;
 pub use ciphertext::Ciphertext;
 pub use context::CkksContext;
 pub use encoder::CkksEncoder;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, HoistedDecomposition};
 pub use keys::{KeyPair, PublicKey, SecretKey, SwitchingKey};
+pub use ks_plan::KsPlan;
 pub use params::{CkksParams, ParamSet};

@@ -16,6 +16,7 @@ use crate::modred::{ModRed, PreparedParams, VecModMul};
 use cross_math::modops;
 use cross_math::rns::BconvTable;
 use cross_poly::ring::Domain;
+use cross_poly::small_ntt::{self, ShoupPairs};
 use cross_poly::PolyBatch;
 use cross_tpu::{Category, TpuSim};
 
@@ -42,12 +43,14 @@ pub struct BconvKernel {
     target: Vec<u64>,
     /// Step-1 multipliers prepared per source limb (degree-`N` shape).
     step1: Vec<(VecModMul, PreparedParams)>,
-    /// Raw `[q̂_i^{-1}]_{q_i}` values (re-prepared for batched shapes).
-    qhat_inv: Vec<u64>,
+    /// Step-1 multipliers as Shoup pairs, one per source limb `i`
+    /// (`[q̂_i^{-1}]_{q_i}` wrt `q_i`) — the host fast path.
+    qhat_inv_shoup: ShoupPairs,
     /// BAT-dense step-2 matrix, `(K·L) × (K·L')` bytes, row-major.
     m_dense: Vec<u8>,
-    /// Plain step-2 matrix for the reference/baseline path (`L × L'`).
-    m_plain: Vec<Vec<u64>>,
+    /// Step-2 matrix for the reference/baseline path, one Shoup table
+    /// per *output* column `j` (`[q̂_i]_{p_j}` over `i`, wrt `p_j`).
+    m_cols: Vec<ShoupPairs>,
 }
 
 impl BconvKernel {
@@ -76,14 +79,19 @@ impl BconvKernel {
                 (vm, params)
             })
             .collect();
+        let mut qhat_inv_shoup = ShoupPairs::with_capacity(l);
+        for (i, &qi) in source.iter().enumerate() {
+            qhat_inv_shoup.push(qhat_inv[i], qi);
+        }
         let (kl, klo) = (k * l, k * l_out);
         let mut m_dense = vec![0u8; kl * klo];
-        let mut m_plain = vec![vec![0u64; l_out]; l];
+        let mut m_cols: Vec<ShoupPairs> =
+            (0..l_out).map(|_| ShoupPairs::with_capacity(l)).collect();
         for i in 0..l {
             for j in 0..l_out {
                 let pj = target[j];
                 let w = table.qhat_mod_p(i, j);
-                m_plain[i][j] = w;
+                m_cols[j].push(w % pj, pj);
                 // K×K block for entry (i, j) under column modulus p_j:
                 // dense[(i·K+kk), (j·K+t)] = chunk_t((w << kk·8) mod p_j).
                 let m = scalar::direct_scalar_bat(w % pj, k, 8, pj);
@@ -102,9 +110,9 @@ impl BconvKernel {
             source,
             target,
             step1,
-            qhat_inv,
+            qhat_inv_shoup,
             m_dense,
-            m_plain,
+            m_cols,
         }
     }
 
@@ -238,18 +246,22 @@ impl BconvKernel {
     pub fn step2_reference(&self, b: &[Vec<u64>]) -> Vec<Vec<u64>> {
         assert_eq!(b.len(), self.l, "limb count must match source basis");
         let rows = self.rows_of(b);
+        // Division-free: each output column accumulates `Σ b_i·[q̂_i]_{p_j}`
+        // in lazy `< 2p_j` Shoup form against the compiled per-column
+        // pairs, with one strict pass at the end — bit-identical to the
+        // term-by-term reduced sum (same congruence class, canonical
+        // final fold).
         (0..self.l_out)
             .map(|j| {
                 let pj = self.target[j];
-                (0..rows)
-                    .map(|nn| {
-                        let mut acc = 0u128;
-                        for (bi, mi) in b.iter().zip(&self.m_plain) {
-                            acc += (bi[nn] % pj) as u128 * mi[j] as u128;
-                        }
-                        (acc % pj as u128) as u64
-                    })
-                    .collect()
+                let col = &self.m_cols[j];
+                let mut out = vec![0u64; rows];
+                for (i, bi) in b.iter().enumerate() {
+                    let (w, ws) = col.get(i);
+                    small_ntt::mul_acc_lazy_const(bi, w, ws, &mut out, pj);
+                }
+                small_ntt::reduce_strict_slice(&mut out, pj);
+                out
             })
             .collect()
     }
@@ -336,14 +348,26 @@ impl BconvKernel {
     /// full reference conversion of all coefficients (single-polynomial
     /// or batch-major limbs).
     pub fn convert_reference(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let views: Vec<&[u64]> = limbs.iter().map(|l| l.as_slice()).collect();
+        self.convert_slices(&views)
+    }
+
+    /// [`BconvKernel::convert_reference`] over borrowed limb views —
+    /// lets callers feed limbs sliced out of a larger structure (e.g.
+    /// the coefficient-domain digit limbs of a key switch) without
+    /// cloning them first. Output limbs are reduced `< p_j`.
+    pub fn convert_slices(&self, limbs: &[&[u64]]) -> Vec<Vec<u64>> {
+        assert_eq!(limbs.len(), self.l, "limb count must match source basis");
         let b: Vec<Vec<u64>> = limbs
             .iter()
-            .zip(&self.qhat_inv)
             .enumerate()
-            .map(|(i, (limb, &qhat_inv))| {
+            .map(|(i, limb)| {
                 let qi = self.source[i];
+                // strict Shoup multiply by the precomputed step-1 pair
+                // — canonical, so bit-identical to `mul_mod`
+                let (w, ws) = self.qhat_inv_shoup.get(i);
                 limb.iter()
-                    .map(|&x| modops::mul_mod(x % qi, qhat_inv, qi))
+                    .map(|&x| small_ntt::shoup_mul(x, w, ws, qi))
                     .collect()
             })
             .collect();

@@ -19,7 +19,7 @@
 use crate::ring::Domain;
 use crate::rns_poly::{RnsContext, RnsPoly};
 use crate::six_step;
-use cross_math::modops::{add_mod, mul_mod, neg_mod, sub_mod};
+use cross_math::modops::{add_mod, barrett_mu, mul_mod, mul_mod_barrett32, neg_mod, sub_mod};
 use cross_math::par;
 use std::sync::Arc;
 
@@ -95,6 +95,38 @@ impl PolyBatch {
             batch,
             limbs,
             domain,
+        }
+    }
+
+    /// Per-limb, per-segment gather in the evaluation domain — the
+    /// batched sibling of [`RnsPoly::gather_eval`]: every degree-`N`
+    /// segment of limb `t` is reindexed by `perms[t]`.
+    ///
+    /// # Panics
+    /// Panics off the evaluation domain or on a ragged table.
+    pub fn gather_eval(&self, perms: &[Vec<u32>]) -> Self {
+        assert_eq!(
+            self.domain,
+            Domain::Evaluation,
+            "gather_eval permutes evaluation points"
+        );
+        assert!(perms.len() >= self.limbs.len(), "one permutation per limb");
+        let n = self.ctx.n();
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        maybe_par(&mut out, self.total_elems(), |t, limb| {
+            let perm = &perms[t];
+            assert_eq!(perm.len(), n, "permutation length mismatch");
+            for (seg_out, seg_in) in limb.chunks_mut(n).zip(self.limbs[t].chunks(n)) {
+                for (o, &s) in seg_out.iter_mut().zip(perm) {
+                    *o = seg_in[s as usize];
+                }
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
         }
     }
 
@@ -261,7 +293,9 @@ impl PolyBatch {
     }
 
     /// Limb-wise pointwise product over the whole batch — one fused
-    /// `batch · N`-wide VecModMul per limb.
+    /// `batch · N`-wide VecModMul per limb, Barrett-reduced against a
+    /// per-limb `⌊2⁶⁴/q⌋` constant when the modulus fits 32 bits
+    /// (bit-identical to `mul_mod`, no division in the inner loop).
     ///
     /// # Panics
     /// Panics if either operand is in the coefficient domain.
@@ -272,7 +306,30 @@ impl PolyBatch {
             Domain::Evaluation,
             "pointwise products require the evaluation domain"
         );
-        self.zip_with(other, mul_mod)
+        let mut out: Vec<Vec<u64>> = self.limbs.iter().map(|l| vec![0u64; l.len()]).collect();
+        let moduli = self.ctx.moduli();
+        maybe_par(&mut out, self.total_elems(), |i, limb| {
+            let q = moduli[i];
+            let pairs = limb
+                .iter_mut()
+                .zip(self.limbs[i].iter().zip(&other.limbs[i]));
+            if q >> 32 == 0 {
+                let mu = barrett_mu(q);
+                for (o, (&x, &y)) in pairs {
+                    *o = mul_mod_barrett32(x, y, q, mu);
+                }
+            } else {
+                for (o, (&x, &y)) in pairs {
+                    *o = mul_mod(x, y, q);
+                }
+            }
+        });
+        Self {
+            ctx: self.ctx.clone(),
+            batch: self.batch,
+            limbs: out,
+            domain: self.domain,
+        }
     }
 
     /// Pointwise product with a single polynomial broadcast across the
@@ -295,9 +352,19 @@ impl PolyBatch {
         maybe_par(&mut out, self.total_elems(), |i, limb| {
             let q = moduli[i];
             let w = &other.limbs()[i];
+            let barrett = (q >> 32 == 0).then(|| barrett_mu(q));
             for (seg_out, seg_in) in limb.chunks_mut(n).zip(self.limbs[i].chunks(n)) {
-                for ((o, &x), &y) in seg_out.iter_mut().zip(seg_in).zip(w) {
-                    *o = mul_mod(x, y, q);
+                match barrett {
+                    Some(mu) => {
+                        for ((o, &x), &y) in seg_out.iter_mut().zip(seg_in).zip(w) {
+                            *o = mul_mod_barrett32(x, y, q, mu);
+                        }
+                    }
+                    None => {
+                        for ((o, &x), &y) in seg_out.iter_mut().zip(seg_in).zip(w) {
+                            *o = mul_mod(x, y, q);
+                        }
+                    }
                 }
             }
         });

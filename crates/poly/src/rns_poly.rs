@@ -7,7 +7,9 @@
 use crate::ring::Domain;
 use crate::six_step;
 use crate::tables::NttTables;
-use cross_math::modops::{add_mod, from_signed, mul_mod, neg_mod, sub_mod};
+use cross_math::modops::{
+    add_mod, barrett_mu, from_signed, mul_mod, mul_mod_barrett32, neg_mod, sub_mod,
+};
 use cross_math::rns::RnsBasis;
 use std::sync::Arc;
 
@@ -199,6 +201,12 @@ impl RnsPoly {
     /// Limb-wise pointwise product — the HE `VecModMul` kernel. Both
     /// operands must be in the evaluation domain.
     ///
+    /// For moduli below 2³² the per-element division is replaced by a
+    /// Barrett reduction against a per-limb `⌊2⁶⁴/q⌋` constant —
+    /// bit-identical to [`mul_mod`] and the dominant win on the tensor
+    /// products inside `Evaluator::mult`, where both operands vary and
+    /// Shoup precomputation cannot apply.
+    ///
     /// # Panics
     /// Panics if either operand is in the coefficient domain.
     pub fn mul_pointwise(&self, other: &Self) -> Self {
@@ -208,7 +216,28 @@ impl RnsPoly {
             Domain::Evaluation,
             "pointwise products require the evaluation domain"
         );
-        self.zip_with(other, mul_mod)
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .zip(self.ctx.moduli())
+            .map(|((a, b), &q)| {
+                if q >> 32 == 0 {
+                    let mu = barrett_mu(q);
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| mul_mod_barrett32(x, y, q, mu))
+                        .collect()
+                } else {
+                    a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect()
+                }
+            })
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
     }
 
     fn zip_with(&self, other: &Self, f: fn(u64, u64, u64) -> u64) -> Self {
@@ -296,6 +325,41 @@ impl RnsPoly {
                     }
                 }
                 out
+            })
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            domain: self.domain,
+        }
+    }
+
+    /// Per-limb gather in the evaluation domain:
+    /// `out[t][i] = self[t][perms[t][i]]`.
+    ///
+    /// The Galois automorphism `σ_g` permutes the negacyclic
+    /// evaluation points (`σ_g(c)(ψ^e) = c(ψ^{g·e mod 2N})`, and odd
+    /// exponents stay odd), so with the right index table this equals
+    /// `NTT(σ_g(INTT(·)))` bit-for-bit with zero transforms — the
+    /// caller supplies one permutation per limb (orderings are
+    /// engine- and modulus-specific).
+    ///
+    /// # Panics
+    /// Panics off the evaluation domain or on a ragged table.
+    pub fn gather_eval(&self, perms: &[Vec<u32>]) -> Self {
+        assert_eq!(
+            self.domain,
+            Domain::Evaluation,
+            "gather_eval permutes evaluation points"
+        );
+        assert!(perms.len() >= self.limbs.len(), "one permutation per limb");
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(perms)
+            .map(|(a, perm)| {
+                assert_eq!(perm.len(), a.len(), "permutation length mismatch");
+                perm.iter().map(|&s| a[s as usize]).collect()
             })
             .collect();
         Self {

@@ -44,6 +44,15 @@ impl ShoupPairs {
         self.w_shoup.push((((w as u128) << 64) / q as u128) as u64);
     }
 
+    /// Builds a table from a slice of reduced constants (all `< q`).
+    pub fn from_values(ws: &[u64], q: u64) -> Self {
+        let mut pairs = Self::with_capacity(ws.len());
+        for &w in ws {
+            pairs.push(w, q);
+        }
+        pairs
+    }
+
     /// The `(w, w_shoup)` pair at index `i`.
     #[inline(always)]
     pub fn get(&self, i: usize) -> (u64, u64) {
@@ -72,6 +81,27 @@ impl ShoupPairs {
             *x = shoup_lazy(*x, wj, wsj, q);
         }
     }
+
+    /// `acc[j] ← acc[j] + xs[j]·w[off+j] mod q + εq`, folded to `< 2q`
+    /// — the lazy multiply-accumulate for key-switching inner products.
+    /// Accepts **any** `u64` inputs in `xs` and keeps the accumulator
+    /// `< 2q` invariantly (one strict pass at the end of the sum chain
+    /// restores canonical form), so a whole digit loop runs with a
+    /// single conditional subtract per term instead of a full
+    /// reduce-and-reallocate pass per digit.
+    #[inline]
+    pub fn mul_acc_lazy_slice(&self, off: usize, xs: &[u64], acc: &mut [u64], q: u64) {
+        debug_assert!(q < 1 << 62, "need 4q < 2^64 for the lazy fold");
+        let two_q = 2 * q;
+        let w = &self.w[off..off + xs.len()];
+        let ws = &self.w_shoup[off..off + xs.len()];
+        for (((a, &x), &wj), &wsj) in acc.iter_mut().zip(xs).zip(w).zip(ws) {
+            // a < 2q and the lazy product < 2q, so the sum < 4q folds
+            // back under 2q with one conditional subtract.
+            let s = *a + shoup_lazy(x, wj, wsj, q);
+            *a = if s >= two_q { s - two_q } else { s };
+        }
+    }
 }
 
 /// Lazy Shoup product `a·w mod q + εq ∈ [0, 2q)` with `ε ∈ {0, 1}`,
@@ -82,6 +112,35 @@ impl ShoupPairs {
 pub(crate) fn shoup_lazy(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
     let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
     a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q))
+}
+
+/// `acc[j] ← acc[j] + xs[j]·w mod q + εq`, folded to `< 2q` — the
+/// single-constant sibling of [`ShoupPairs::mul_acc_lazy_slice`] for
+/// multiply-accumulate against one precomputed `(w, ⌊w·2⁶⁴/q⌋)` pair
+/// (e.g. a BConv matrix column entry). Accepts **any** `u64` inputs
+/// and keeps the accumulator `< 2q` invariantly; close the chain with
+/// [`reduce_strict_slice`].
+#[inline]
+pub fn mul_acc_lazy_const(xs: &[u64], w: u64, w_shoup: u64, acc: &mut [u64], q: u64) {
+    debug_assert!(q < 1 << 62, "need 4q < 2^64 for the lazy fold");
+    let two_q = 2 * q;
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        let s = *a + shoup_lazy(x, w, w_shoup, q);
+        *a = if s >= two_q { s - two_q } else { s };
+    }
+}
+
+/// Strict Shoup product `a·w mod q ∈ [0, q)` for any `a < 2⁶⁴` —
+/// the canonical single-constant multiply for precomputed pairs
+/// (e.g. the `P⁻¹`/`q_last⁻¹` scalings of mod-down and rescale).
+#[inline(always)]
+pub fn shoup_mul(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let y = shoup_lazy(a, w, w_shoup, q);
+    if y >= q {
+        y - q
+    } else {
+        y
+    }
 }
 
 /// Conditional subtract `[0, 2·two_q) → [0, two_q)` (used with
@@ -95,9 +154,11 @@ fn reduce_2q(x: u64, two_q: u64) -> u64 {
     }
 }
 
-/// Final conditional subtract `[0, 2q) → [0, q)` over a slice.
+/// Final conditional subtract `[0, 2q) → [0, q)` over a slice — the
+/// strict pass that closes a chain of lazy accumulations
+/// ([`ShoupPairs::mul_acc_lazy_slice`]).
 #[inline]
-pub(crate) fn reduce_strict_slice(xs: &mut [u64], q: u64) {
+pub fn reduce_strict_slice(xs: &mut [u64], q: u64) {
     for x in xs.iter_mut() {
         if *x >= q {
             *x -= q;
@@ -615,5 +676,38 @@ mod tests {
         assert!(xs.iter().all(|&x| x < 2 * q));
         reduce_strict_slice(&mut xs, q);
         assert_eq!(xs, want);
+    }
+
+    #[test]
+    fn mul_acc_lazy_slice_matches_strict_inner_product() {
+        let q = primes::ntt_prime(28, 1 << 6, 0).unwrap();
+        let terms = 7usize;
+        let len = 16usize;
+        // per-term constant tables and unreduced inputs (any u64 < 2q)
+        let tables: Vec<ShoupPairs> = (0..terms)
+            .map(|t| ShoupPairs::from_values(&residues(len, q, 11 + t as u64), q))
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..terms)
+            .map(|t| {
+                residues(len, q, 31 + t as u64)
+                    .into_iter()
+                    .map(|x| x + q * (t as u64 % 2)) // exercise lazy inputs
+                    .collect()
+            })
+            .collect();
+        let mut acc = vec![0u64; len];
+        for (tw, xs) in tables.iter().zip(&inputs) {
+            tw.mul_acc_lazy_slice(0, xs, &mut acc, q);
+            assert!(acc.iter().all(|&a| a < 2 * q), "accumulator left 2q");
+        }
+        reduce_strict_slice(&mut acc, q);
+        for j in 0..len {
+            let mut want = 0u64;
+            for (tw, xs) in tables.iter().zip(&inputs) {
+                let p = mul_mod(xs[j] % q, tw.get(j).0, q);
+                want = (want + p) % q;
+            }
+            assert_eq!(acc[j], want, "element {j}");
+        }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::ir::{HeOpKind, NodeId, OpGraph};
 use crate::sched::Schedule;
-use cross_ckks::{BatchedCiphertext, Ciphertext, Evaluator, SwitchingKey};
+use cross_ckks::{BatchedCiphertext, Ciphertext, Evaluator, HoistedDecomposition, SwitchingKey};
 use std::collections::BTreeMap;
 
 /// The switching keys replay needs: the relinearization key for `Mult`
@@ -82,12 +82,8 @@ fn exec_group(
             HeOpKind::Rotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
             HeOpKind::Rescale => ev.rescale(&a),
             HeOpKind::ModDrop { to_level } => ev.mod_drop(&a, to_level),
-            // The decomposed digits are a cost-model artifact; the
-            // value a HoistDecomp "produces" is its operand, and each
-            // HoistedRotate replays as the full rotate of it — which
-            // is why hoisting is bit-exact by construction.
-            HeOpKind::HoistDecomp => a,
-            HeOpKind::HoistedRotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
+            // Hoist kinds run through the hoisted-decomposition side
+            // map in `replay`/`execute_schedule`, never through here.
             _ => unreachable!(),
         }];
     }
@@ -105,11 +101,49 @@ fn exec_group(
         HeOpKind::Rotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
         HeOpKind::Rescale => ev.rescale_batch(&a),
         HeOpKind::ModDrop { to_level } => ev.mod_drop_batch(&a, to_level),
-        HeOpKind::HoistDecomp => a,
-        HeOpKind::HoistedRotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
         _ => unreachable!(),
     };
     out.to_ciphertexts()
+}
+
+/// Executes one hoist-pipeline node against the decomposition side
+/// map. `HoistDecomp` mod-drops its operand to the node level (the
+/// same alignment every other kind gets), stores the real hoisted
+/// decomposition under its node id, and passes the aligned ciphertext
+/// through as its value. `HoistedRotate` runs off the producer's
+/// stored decomposition — the functional hoisted path, bit-identical
+/// to a full rotate of the pass-through value because
+/// [`Evaluator::hoisted_rotate`] and [`Evaluator::rotate`] share one
+/// Galois tail — falling back to the eager rotate if its input was
+/// not decomposed (a hand-built graph wiring HoistedRotate to an
+/// ordinary producer) or sits at another level.
+#[allow(clippy::too_many_arguments)]
+fn exec_hoist_node(
+    ev: &Evaluator,
+    keys: &ReplayKeys,
+    kind: HeOpKind,
+    level: usize,
+    input: NodeId,
+    results: &[Option<Ciphertext>],
+    decomps: &mut BTreeMap<NodeId, HoistedDecomposition>,
+    id: NodeId,
+) -> Ciphertext {
+    match kind {
+        HeOpKind::HoistDecomp => {
+            let a = ev.mod_drop(&operand(results, input), level);
+            decomps.insert(id, ev.hoist_decompose(&a));
+            a
+        }
+        HeOpKind::HoistedRotate { steps } => match decomps.get(&input) {
+            Some(h) if h.level == level => ev.hoisted_rotate(h, steps, keys.rotation(steps)),
+            _ => ev.rotate(
+                &ev.mod_drop(&operand(results, input), level),
+                steps,
+                keys.rotation(steps),
+            ),
+        },
+        _ => unreachable!("not a hoist kind"),
+    }
 }
 
 fn operand(results: &[Option<Ciphertext>], id: NodeId) -> Ciphertext {
@@ -135,6 +169,7 @@ pub fn replay(
     inputs: &[Ciphertext],
 ) -> Vec<Option<Ciphertext>> {
     let mut results: Vec<Option<Ciphertext>> = vec![None; graph.len()];
+    let mut decomps: BTreeMap<NodeId, HoistedDecomposition> = BTreeMap::new();
     let mut next_input = 0usize;
     for node in graph.nodes() {
         if node.kind == HeOpKind::Input {
@@ -145,6 +180,23 @@ pub fn replay(
         }
         assert_eq!(node.batch, 1, "pre-fused nodes are cost-only");
         if !node.kind.replayable() {
+            continue;
+        }
+        if matches!(
+            node.kind,
+            HeOpKind::HoistDecomp | HeOpKind::HoistedRotate { .. }
+        ) {
+            let out = exec_hoist_node(
+                ev,
+                keys,
+                node.kind,
+                node.level,
+                node.inputs[0],
+                &results,
+                &mut decomps,
+                node.id,
+            );
+            results[node.id] = Some(out);
             continue;
         }
         let lhs = vec![operand(&results, node.inputs[0])];
@@ -175,6 +227,7 @@ pub fn execute_schedule(
     inputs: &[Ciphertext],
 ) -> Vec<Option<Ciphertext>> {
     let mut results: Vec<Option<Ciphertext>> = vec![None; graph.len()];
+    let mut decomps: BTreeMap<NodeId, HoistedDecomposition> = BTreeMap::new();
     let mut next_input = 0usize;
     for node in graph.nodes() {
         if node.kind == HeOpKind::Input {
@@ -187,6 +240,30 @@ pub fn execute_schedule(
 
     for batch in &schedule.batches {
         if !batch.kind.replayable() {
+            continue;
+        }
+        if matches!(
+            batch.kind,
+            HeOpKind::HoistDecomp | HeOpKind::HoistedRotate { .. }
+        ) {
+            // Hoist-pipeline groups run node by node off the shared
+            // decomposition map — each rotation is already just the
+            // cheap tail, so there is no batched variant to prefer.
+            for &id in &batch.nodes {
+                let node = graph.node(id);
+                assert_eq!(node.batch, 1, "pre-fused nodes cannot be executed");
+                let out = exec_hoist_node(
+                    ev,
+                    keys,
+                    batch.kind,
+                    batch.level,
+                    node.inputs[0],
+                    &results,
+                    &mut decomps,
+                    id,
+                );
+                results[id] = Some(out);
+            }
             continue;
         }
         let mut lhs = Vec::with_capacity(batch.nodes.len());
