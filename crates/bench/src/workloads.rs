@@ -6,8 +6,9 @@
 //! Both builders are deterministic (pure recorder programs), so bench
 //! baselines keyed on their modeled costs are stable across runs.
 
+use cross_ckks::ext::sgn::{compare_chain, relu_chain, threshold_chain, SgnBackend, SgnTier};
 use cross_ckks::params::CkksParams;
-use cross_sched::{OpGraph, Recorder, Vct};
+use cross_sched::{OpGraph, Recorder, RecordingSgnBackend, TrackedVct, Vct};
 
 /// HELR-scale CKKS parameters (N = 2^16, L = 30, dnum = 3, 28-bit
 /// moduli — the paper's logistic-regression setting mapped to double
@@ -174,6 +175,99 @@ pub fn mnist_network(level: usize) -> OpGraph {
     r.finish()
 }
 
+/// Comparison-toolkit CKKS parameters (N = 2^16, L = 33, dnum = 3,
+/// 28-bit moduli): deep enough for the rank-based top-k head, which
+/// stacks two Low-tier sign evaluations plus the rank normalisation
+/// (2·(12+2)+1 = 29 levels) and still ends at level ≥ 2.
+pub fn sgn_workload_params() -> CkksParams {
+    CkksParams::new(1 << 16, 33, 3, 28)
+}
+
+/// The flat recording scale for the sgn workload graphs.
+const SGN_DELTA: f64 = (1u64 << 28) as f64;
+
+/// Recording backend over a flat synthetic 2^28 modulus chain: every
+/// rescale divides the scale by exactly 2^28, so the recorded graph
+/// (and its plaintext const tables) depends only on `(level, tier)` —
+/// the same determinism contract the helr/mnist builders give the
+/// bench baselines.
+fn sgn_recorder(level: usize) -> RecordingSgnBackend {
+    RecordingSgnBackend::new(&vec![1u64 << 28; level])
+}
+
+/// Records an encrypted argmax/thresholding inference head over
+/// `classes` score ciphertexts: all ordered pairwise Low-tier
+/// comparisons (mutually independent — prime fusion fodder for the
+/// scheduler), then per class the product of its `classes − 1`
+/// "beats j" indicators, yielding a one-hot argmax mask at fixed
+/// depth `tier.depth() + 2 + (classes − 2)` regardless of how the
+/// scores are ordered.
+pub fn argmax_head(level: usize, classes: usize) -> OpGraph {
+    assert!(classes >= 2, "argmax needs at least two classes");
+    let mut bk = sgn_recorder(level);
+    let scores: Vec<TrackedVct> = (0..classes).map(|_| bk.input(level, SGN_DELTA)).collect();
+    for i in 0..classes {
+        let wins: Vec<TrackedVct> = (0..classes)
+            .filter(|&j| j != i)
+            .map(|j| compare_chain(&mut bk, &scores[i], &scores[j], SgnTier::Low))
+            .collect();
+        let mut mask = wins[0];
+        for w in &wins[1..] {
+            mask = bk.mult(&mask, w);
+        }
+    }
+    bk.finish().graph
+}
+
+/// Records an encrypted top-k selection head over `n` score
+/// ciphertexts via rank computation: `rank_i = Σ_{j≠i} [s_i > s_j]`
+/// (all pairwise compares run in parallel), normalised to `[0, 1]`,
+/// then thresholded at `(n − k − ½)/(n − 1)` — the mask of the k
+/// largest scores at depth `2·(tier.depth() + 2) + 1`.
+pub fn topk_head(level: usize, n: usize, k: usize) -> OpGraph {
+    assert!(n >= 2 && k >= 1 && k < n, "need 1 ≤ k < n and n ≥ 2");
+    let mut bk = sgn_recorder(level);
+    let scores: Vec<TrackedVct> = (0..n).map(|_| bk.input(level, SGN_DELTA)).collect();
+    let cut = (n - k) as f64 - 0.5;
+    for i in 0..n {
+        let mut rank: Option<TrackedVct> = None;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let c = compare_chain(&mut bk, &scores[i], &scores[j], SgnTier::Low);
+            rank = Some(match rank {
+                None => c,
+                Some(r) => bk.add(&r, &c),
+            });
+        }
+        let scaled = bk.plain_mult(&rank.unwrap(), 1.0 / (n - 1) as f64, SGN_DELTA);
+        let norm = bk.rescale(&scaled);
+        threshold_chain(&mut bk, &norm, cut / (n - 1) as f64, SgnTier::Low);
+    }
+    bk.finish().graph
+}
+
+/// Records one ReLU-gated MLP layer over `width` neuron ciphertexts:
+/// per neuron a plaintext affine step (weight multiply + rescale +
+/// bias add) followed by a Mid-tier [`relu_chain`] — the genuine
+/// sign-based activation, where the mnist workload substitutes
+/// squaring. The `width` activations are structurally identical, so
+/// the scheduler fuses them across neurons.
+pub fn relu_mlp_layer(level: usize, width: usize) -> OpGraph {
+    assert!(width >= 1, "layer needs at least one neuron");
+    let mut bk = sgn_recorder(level);
+    for i in 0..width {
+        let x = bk.input(level, SGN_DELTA);
+        let w = 0.9 - 0.05 * (i % 8) as f64;
+        let z = bk.plain_mult(&x, w, SGN_DELTA);
+        let z = bk.rescale(&z);
+        let z = bk.plain_add(&z, 0.01 * (i % 4) as f64);
+        relu_chain(&mut bk, &z, SgnTier::Mid);
+    }
+    bk.finish().graph
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +280,19 @@ mod tests {
         let m = mnist_network(mnist_params().limbs);
         assert_eq!(m, mnist_network(mnist_params().limbs));
         assert!(m.op_count() > 400);
+    }
+
+    #[test]
+    fn sgn_workload_graphs_are_deterministic_and_nontrivial() {
+        let l = sgn_workload_params().limbs;
+        let a = argmax_head(l, 4);
+        assert_eq!(a, argmax_head(l, 4));
+        assert!(a.op_count() > 150, "argmax: {}", a.op_count());
+        let t = topk_head(l, 6, 2);
+        assert_eq!(t, topk_head(l, 6, 2));
+        assert!(t.op_count() > 400, "topk: {}", t.op_count());
+        let m = relu_mlp_layer(l, 8);
+        assert_eq!(m, relu_mlp_layer(l, 8));
+        assert!(m.op_count() > 100, "mlp: {}", m.op_count());
     }
 }

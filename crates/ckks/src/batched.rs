@@ -137,6 +137,63 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Batched HE-Sub. Same contract as [`Evaluator::sub`]: operands
+    /// align to the lower level, per-entry scales must agree within
+    /// the 1 % CKKS drift tolerance.
+    pub fn sub_batch(&self, a: &BatchedCiphertext, b: &BatchedCiphertext) -> BatchedCiphertext {
+        let (a, b) = self.align_batch(a, b);
+        for (sa, sb) in a.scales.iter().zip(&b.scales) {
+            assert!((sa / sb - 1.0).abs() < 1e-2, "scale mismatch: {sa} vs {sb}");
+        }
+        BatchedCiphertext {
+            c0: a.c0.sub(&b.c0),
+            c1: a.c1.sub(&b.c1),
+            level: a.level,
+            scales: a.scales.clone(),
+        }
+    }
+
+    /// Batched ciphertext × plaintext multiply: one plaintext
+    /// (evaluation domain, encoded at the batch level) broadcast
+    /// across every entry. Bit-exact with looping
+    /// [`Evaluator::mult_plain`] on the identical plaintext; result
+    /// scales are `scales[b] · pt_scale` (rescale separately).
+    pub fn mult_plain_batch(
+        &self,
+        ct: &BatchedCiphertext,
+        pt: &RnsPoly,
+        pt_scale: f64,
+    ) -> BatchedCiphertext {
+        assert_eq!(
+            pt.level_count(),
+            ct.level,
+            "encode the plaintext at the batch level"
+        );
+        assert!(
+            pt_scale.is_finite() && pt_scale > 0.0,
+            "plaintext scale must be a positive finite value, got {pt_scale}"
+        );
+        let budget: f64 = self.context().q_moduli()[..ct.level]
+            .iter()
+            .map(|&q| q as f64)
+            .product();
+        for s in &ct.scales {
+            let product = s * pt_scale;
+            assert!(
+                product.is_finite() && product < budget / 2.0,
+                "scale overflow: entry scale {s} × pt_scale {pt_scale} exceeds \
+                 the level-{} modulus budget {budget:e}",
+                ct.level
+            );
+        }
+        BatchedCiphertext {
+            c0: ct.c0.mul_pointwise_poly(pt),
+            c1: ct.c1.mul_pointwise_poly(pt),
+            level: ct.level,
+            scales: ct.scales.iter().map(|s| s * pt_scale).collect(),
+        }
+    }
+
     /// Batched HE-Mult: fused tensor products, one batched key switch,
     /// one batched rescale. Bit-exact with looping [`Evaluator::mult`].
     pub fn mult_batch(

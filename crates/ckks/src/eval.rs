@@ -36,8 +36,9 @@ impl<'a> Evaluator<'a> {
         Self { ctx }
     }
 
-    /// The bound context (crate-internal, for the batched operators).
-    pub(crate) fn context(&self) -> &'a CkksContext {
+    /// The bound context (the batched operators and the `cross_sched`
+    /// replay executor encode plaintext constants through it).
+    pub fn context(&self) -> &'a CkksContext {
         self.ctx
     }
 
@@ -99,12 +100,25 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Plaintext addition (plaintext encoded at the ciphertext's level
-    /// and scale, evaluation domain).
-    pub fn add_plain(&self, ct: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
+    /// and scale, evaluation domain). `pt_scale` is the scale the
+    /// plaintext was *encoded* at.
+    ///
+    /// # Panics
+    /// Panics if `pt_scale` diverges from the ciphertext's scale by
+    /// more than the 1 % CKKS drift tolerance: adding a plaintext
+    /// encoded at the wrong scale does not fail loudly on its own — it
+    /// silently corrupts the message (the deep-chain footgun this
+    /// guard exists for; see DESIGN.md §13).
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &RnsPoly, pt_scale: f64) -> Ciphertext {
         assert_eq!(
             pt.level_count(),
             ct.level,
             "encode the plaintext at ct's level"
+        );
+        assert!(
+            (ct.scale / pt_scale - 1.0).abs() < 1e-2,
+            "plaintext scale mismatch: ct at {}, plaintext encoded at {pt_scale}",
+            ct.scale
         );
         Ciphertext {
             c0: ct.c0.add(pt),
@@ -116,11 +130,34 @@ impl<'a> Evaluator<'a> {
 
     /// Plaintext multiplication; the result's scale is the product
     /// (rescale afterwards to restore it).
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive `pt_scale`, and when the
+    /// product scale would overflow the remaining modulus budget at
+    /// this level (`ct.scale · pt_scale ≥ Q_level / 2`): past that
+    /// point the scaled message wraps mod `Q` and every later op
+    /// silently mis-tracks.
     pub fn mult_plain(&self, ct: &Ciphertext, pt: &RnsPoly, pt_scale: f64) -> Ciphertext {
         assert_eq!(
             pt.level_count(),
             ct.level,
             "encode the plaintext at ct's level"
+        );
+        assert!(
+            pt_scale.is_finite() && pt_scale > 0.0,
+            "plaintext scale must be a positive finite value, got {pt_scale}"
+        );
+        let budget: f64 = self.ctx.q_moduli()[..ct.level]
+            .iter()
+            .map(|&q| q as f64)
+            .product();
+        let product = ct.scale * pt_scale;
+        assert!(
+            product.is_finite() && product < budget / 2.0,
+            "scale overflow: ct.scale {} × pt_scale {pt_scale} exceeds the \
+             level-{} modulus budget {budget:e}",
+            ct.scale,
+            ct.level
         );
         Ciphertext {
             c0: ct.c0.mul_pointwise(pt),
@@ -393,10 +430,38 @@ mod tests {
         let (a, w) = (msg_a(ctx.slot_count()), msg_b(ctx.slot_count()));
         let ca = ctx.encrypt(&a, &kp.public);
         let pt = ctx.encode_at(&w, ca.level, ca.scale);
-        let got = ctx.decrypt(&ev.add_plain(&ca, &pt), &kp.secret);
+        let got = ctx.decrypt(&ev.add_plain(&ca, &pt, ca.scale), &kp.secret);
         for i in 0..a.len() {
             assert!((got[i] - (a[i] + w[i])).abs() < 1e-3, "slot {i}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "plaintext scale mismatch")]
+    fn add_plain_rejects_scale_mismatch() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let ca = ctx.encrypt(&a, &kp.public);
+        // Encoded at twice the ciphertext scale: silently adding it
+        // would halve the contributed message. The guard must trip.
+        let wrong = ca.scale * 2.0;
+        let pt = ctx.encode_at(&vec![0.5; ctx.slot_count()], ca.level, wrong);
+        let _ = ev.add_plain(&ca, &pt, wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale overflow")]
+    fn mult_plain_rejects_scale_overflow() {
+        let (ctx, kp) = setup();
+        let ev = Evaluator::new(&ctx);
+        let a = msg_a(ctx.slot_count());
+        let mut ca = ctx.encrypt(&a, &kp.public);
+        ca = ev.mod_drop(&ca, 1);
+        // At level 1 the budget is a single 28-bit prime; a product of
+        // two ~2^28 scales wraps mod q0 and corrupts the message.
+        let pt = ctx.encode_at(&vec![1.0; ctx.slot_count()], ca.level, ctx.params().scale());
+        let _ = ev.mult_plain(&ca, &pt, ctx.params().scale());
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Extension layers over the core evaluator — non-arithmetic
+//! primitives composed from the scheme's native ops.
+
+pub mod sgn;

@@ -40,6 +40,7 @@ pub mod context;
 pub mod costs;
 pub mod encoder;
 pub mod eval;
+pub mod ext;
 pub mod keys;
 pub mod ks_plan;
 pub mod params;

@@ -36,9 +36,20 @@ pub fn node_bundles(params: &CkksParams, op: &HeOp) -> Vec<OpBundle> {
     match op.kind {
         HeOpKind::Input | HeOpKind::ModDrop { .. } => Vec::new(),
         HeOpKind::Add => one("HE-Add", costs::he_add_counts(params, l).scaled(b), 0.0),
+        HeOpKind::Sub => one("HE-Sub", costs::he_add_counts(params, l).scaled(b), 0.0),
         HeOpKind::PlainMult => one(
             "HE-PMult",
             costs::he_plain_mult_counts(params, l).scaled(b),
+            0.0,
+        ),
+        HeOpKind::PlainMultConst { .. } => one(
+            "HE-PMultConst",
+            costs::he_plain_mult_counts(params, l).scaled(b),
+            0.0,
+        ),
+        HeOpKind::PlainAddConst { .. } => one(
+            "HE-PAddConst",
+            costs::he_add_counts(params, l).scaled(b),
             0.0,
         ),
         HeOpKind::Mult => one("HE-Mult", costs::he_mult_counts(params, l).scaled(b), key()),

@@ -14,12 +14,15 @@ use crate::sched::Schedule;
 use cross_ckks::{BatchedCiphertext, Ciphertext, Evaluator, HoistedDecomposition, SwitchingKey};
 use std::collections::BTreeMap;
 
-/// The switching keys replay needs: the relinearization key for `Mult`
-/// and one rotation key per distinct step.
+/// The switching keys replay needs — the relinearization key for
+/// `Mult` and one rotation key per distinct step — plus the plaintext
+/// const tables for `PlainMultConst` / `PlainAddConst` nodes.
 #[derive(Default)]
 pub struct ReplayKeys<'a> {
     relin: Option<&'a SwitchingKey>,
     rotation: BTreeMap<usize, &'a SwitchingKey>,
+    mult_consts: BTreeMap<u32, (f64, f64)>,
+    add_consts: BTreeMap<u32, f64>,
 }
 
 impl<'a> ReplayKeys<'a> {
@@ -40,6 +43,20 @@ impl<'a> ReplayKeys<'a> {
         self
     }
 
+    /// Registers the `(value, pt_scale)` pair a `PlainMultConst { cid }`
+    /// node encodes its plaintext from at replay time.
+    pub fn with_mult_const(mut self, cid: u32, value: f64, pt_scale: f64) -> Self {
+        self.mult_consts.insert(cid, (value, pt_scale));
+        self
+    }
+
+    /// Registers the scalar a `PlainAddConst { cid }` node encodes at
+    /// its operand's scale at replay time.
+    pub fn with_add_const(mut self, cid: u32, value: f64) -> Self {
+        self.add_consts.insert(cid, value);
+        self
+    }
+
     fn relin(&self) -> &'a SwitchingKey {
         self.relin.expect("Mult in graph but no relin key provided")
     }
@@ -48,6 +65,20 @@ impl<'a> ReplayKeys<'a> {
         self.rotation
             .get(&steps)
             .unwrap_or_else(|| panic!("no rotation key for steps {steps}"))
+    }
+
+    fn mult_const(&self, cid: u32) -> (f64, f64) {
+        *self
+            .mult_consts
+            .get(&cid)
+            .unwrap_or_else(|| panic!("no mult const registered for cid {cid}"))
+    }
+
+    fn add_const(&self, cid: u32) -> f64 {
+        *self
+            .add_consts
+            .get(&cid)
+            .unwrap_or_else(|| panic!("no add const registered for cid {cid}"))
     }
 }
 
@@ -78,7 +109,10 @@ fn exec_group(
         let a = ev.mod_drop(&lhs[0], level);
         return vec![match kind {
             HeOpKind::Add => ev.add(&a, &ev.mod_drop(&rhs[0], level)),
+            HeOpKind::Sub => ev.sub(&a, &ev.mod_drop(&rhs[0], level)),
             HeOpKind::Mult => ev.mult(&a, &ev.mod_drop(&rhs[0], level), keys.relin()),
+            HeOpKind::PlainMultConst { cid } => exec_plain_mult_const(ev, keys, cid, &a),
+            HeOpKind::PlainAddConst { cid } => exec_plain_add_const(ev, keys, cid, &a),
             HeOpKind::Rotate { steps } => ev.rotate(&a, steps, keys.rotation(steps)),
             HeOpKind::Rescale => ev.rescale(&a),
             HeOpKind::ModDrop { to_level } => ev.mod_drop(&a, to_level),
@@ -90,20 +124,62 @@ fn exec_group(
     let align = |cts: Vec<Ciphertext>| -> Vec<Ciphertext> {
         cts.iter().map(|c| ev.mod_drop(c, level)).collect()
     };
+    if let HeOpKind::PlainAddConst { cid } = kind {
+        // Each member encodes its constant at its *own* scale — a
+        // per-entry plaintext, so there is no shared broadcast kernel.
+        // The eager loop is the batched semantics.
+        return align(lhs)
+            .iter()
+            .map(|c| exec_plain_add_const(ev, keys, cid, c))
+            .collect();
+    }
     let a = BatchedCiphertext::from_ciphertexts(&align(lhs));
     let out = match kind {
         HeOpKind::Add => ev.add_batch(&a, &BatchedCiphertext::from_ciphertexts(&align(rhs))),
+        HeOpKind::Sub => ev.sub_batch(&a, &BatchedCiphertext::from_ciphertexts(&align(rhs))),
         HeOpKind::Mult => ev.mult_batch(
             &a,
             &BatchedCiphertext::from_ciphertexts(&align(rhs)),
             keys.relin(),
         ),
+        HeOpKind::PlainMultConst { cid } => {
+            // One encode, broadcast across the whole group — the true
+            // fused kernel, bit-exact with per-member `mult_plain` of
+            // the identical plaintext.
+            let (value, pt_scale) = keys.mult_const(cid);
+            let ctx = ev.context();
+            let pt = ctx.encode_at(&vec![value; ctx.slot_count()], level, pt_scale);
+            ev.mult_plain_batch(&a, &pt, pt_scale)
+        }
         HeOpKind::Rotate { steps } => ev.rotate_batch(&a, steps, keys.rotation(steps)),
         HeOpKind::Rescale => ev.rescale_batch(&a),
         HeOpKind::ModDrop { to_level } => ev.mod_drop_batch(&a, to_level),
         _ => unreachable!(),
     };
     out.to_ciphertexts()
+}
+
+/// Eager `PlainMultConst`: encode the registered constant at the
+/// node's level and registered scale, then `mult_plain`.
+fn exec_plain_mult_const(
+    ev: &Evaluator,
+    keys: &ReplayKeys,
+    cid: u32,
+    a: &Ciphertext,
+) -> Ciphertext {
+    let (value, pt_scale) = keys.mult_const(cid);
+    let ctx = ev.context();
+    let pt = ctx.encode_at(&vec![value; ctx.slot_count()], a.level, pt_scale);
+    ev.mult_plain(a, &pt, pt_scale)
+}
+
+/// Eager `PlainAddConst`: encode the registered constant at the
+/// operand's own (level, scale) so the add is drift-free.
+fn exec_plain_add_const(ev: &Evaluator, keys: &ReplayKeys, cid: u32, a: &Ciphertext) -> Ciphertext {
+    let value = keys.add_const(cid);
+    let ctx = ev.context();
+    let pt = ctx.encode_at(&vec![value; ctx.slot_count()], a.level, a.scale);
+    ev.add_plain(a, &pt, a.scale)
 }
 
 /// Executes one hoist-pipeline node against the decomposition side

@@ -25,8 +25,31 @@ pub enum HeOpKind {
     Input,
     /// HE-Add of two ciphertexts.
     Add,
+    /// HE-Sub of two ciphertexts (limb-wise subtraction; same cost and
+    /// level behaviour as [`Add`](HeOpKind::Add)).
+    Sub,
     /// Ciphertext × plaintext multiply (diagonal matrices, masks).
     PlainMult,
+    /// Ciphertext × plaintext-*constant* multiply: every slot is
+    /// multiplied by one scalar from the replay const table
+    /// ([`crate::exec::ReplayKeys::with_mult_const`]). Unlike the
+    /// cost-only [`PlainMult`](HeOpKind::PlainMult), the operand is
+    /// fully captured by `cid`, so the op is replayable and CSE-able.
+    /// The node preserves the level; the result scale is
+    /// `ct.scale · pt_scale` (rescale separately, as the eager
+    /// evaluator does).
+    PlainMultConst {
+        /// Const-table id selecting `(value, pt_scale)`.
+        cid: u32,
+    },
+    /// Ciphertext + plaintext-constant add: the scalar for `cid` is
+    /// encoded at the operand's *actual* scale at replay time, exactly
+    /// like an eager `add_plain` of a freshly encoded constant. Level
+    /// and scale are preserved.
+    PlainAddConst {
+        /// Const-table id selecting the value.
+        cid: u32,
+    },
     /// HE-Mult: tensor product + relinearization + rescale.
     Mult,
     /// HE-Rotate by `steps` slots (automorphism + key switch).
@@ -73,7 +96,10 @@ impl HeOpKind {
         match self {
             HeOpKind::Input => "Input",
             HeOpKind::Add => "HE-Add",
+            HeOpKind::Sub => "HE-Sub",
             HeOpKind::PlainMult => "HE-PMult",
+            HeOpKind::PlainMultConst { .. } => "HE-PMultConst",
+            HeOpKind::PlainAddConst { .. } => "HE-PAddConst",
             HeOpKind::Mult => "HE-Mult",
             HeOpKind::Rotate { .. } => "Rotate",
             HeOpKind::Rescale => "Rescale",
@@ -89,7 +115,7 @@ impl HeOpKind {
     pub fn arity(self) -> usize {
         match self {
             HeOpKind::Input => 0,
-            HeOpKind::Add | HeOpKind::Mult => 2,
+            HeOpKind::Add | HeOpKind::Sub | HeOpKind::Mult => 2,
             _ => 1,
         }
     }
@@ -115,7 +141,10 @@ impl HeOpKind {
             self,
             HeOpKind::Input
                 | HeOpKind::Add
+                | HeOpKind::Sub
                 | HeOpKind::Mult
+                | HeOpKind::PlainMultConst { .. }
+                | HeOpKind::PlainAddConst { .. }
                 | HeOpKind::Rotate { .. }
                 | HeOpKind::Rescale
                 | HeOpKind::ModDrop { .. }
@@ -358,6 +387,35 @@ mod tests {
         assert!(!HeOpKind::Bootstrap.replayable());
         // Distinct steps are distinct kinds — they must not merge.
         assert_ne!(HeOpKind::Rotate { steps: 1 }, HeOpKind::Rotate { steps: 2 });
+    }
+
+    #[test]
+    fn sgn_kind_metadata() {
+        // Sub is a two-operand un-keyed replayable op like Add; the
+        // plaintext-constant ops are unary, un-keyed and replayable
+        // (the const table captures their hidden operand), and distinct
+        // cids are distinct kinds so they never batch-merge.
+        assert_eq!(HeOpKind::Sub.arity(), 2);
+        assert!(!HeOpKind::Sub.keyed());
+        assert!(HeOpKind::Sub.replayable());
+        assert_eq!(HeOpKind::PlainMultConst { cid: 0 }.arity(), 1);
+        assert!(!HeOpKind::PlainMultConst { cid: 0 }.keyed());
+        assert!(HeOpKind::PlainMultConst { cid: 0 }.replayable());
+        assert!(HeOpKind::PlainAddConst { cid: 0 }.replayable());
+        assert_ne!(
+            HeOpKind::PlainMultConst { cid: 0 },
+            HeOpKind::PlainMultConst { cid: 1 }
+        );
+        // But the cost-only PlainMult stays non-replayable.
+        assert!(!HeOpKind::PlainMult.replayable());
+        let mut g = OpGraph::new();
+        let a = g.input(4);
+        let b = g.input(4);
+        let s = g.add_op(HeOpKind::Sub, 4, 1, &[a, b]);
+        let p = g.add_op(HeOpKind::PlainMultConst { cid: 7 }, 4, 1, &[s]);
+        assert_eq!(g.node(p).result_level(), 4);
+        let q = g.add_op(HeOpKind::PlainAddConst { cid: 8 }, 4, 1, &[p]);
+        assert_eq!(g.node(q).result_level(), 4);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod record;
 pub mod sched;
 pub mod serve;
 pub mod session;
+pub mod sgn;
 #[doc(hidden)]
 pub mod testutil;
 
@@ -88,3 +89,4 @@ pub use record::{Recorder, Vct};
 pub use sched::{FusedBatch, Schedule, Scheduler};
 pub use serve::{Client, ServeConfig, ServeKeys, ServeStats, SubmitError};
 pub use session::{serve_tenants, Server, Session, TenantSpec};
+pub use sgn::{RecordingSgnBackend, SgnRecording, TrackedVct};

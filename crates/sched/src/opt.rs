@@ -228,7 +228,7 @@ impl Pass for Waterline {
         for node in graph.nodes().iter().rev() {
             let read_level = match node.kind {
                 HeOpKind::Input => continue,
-                HeOpKind::Add if node.batch == 1 && !is_sink[node.id] => {
+                HeOpKind::Add | HeOpKind::Sub if node.batch == 1 && !is_sink[node.id] => {
                     // Every consumer reads ≥ 1 limb, so demand ≥ 1.
                     new_level[node.id] = node.level.min(demand[node.id].max(1));
                     new_level[node.id]

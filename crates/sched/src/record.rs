@@ -73,10 +73,35 @@ impl Recorder {
         }
     }
 
+    /// HE-Sub (operands align to the lower level, like
+    /// [`cross_ckks::Evaluator::sub`]).
+    pub fn sub(&mut self, a: Vct, b: Vct) -> Vct {
+        let level = a.level.min(b.level);
+        let node = self
+            .graph
+            .add_op(HeOpKind::Sub, level, 1, &[a.node, b.node]);
+        Vct { node, level }
+    }
+
     /// Ciphertext × plaintext multiply (cost-only in replay; the
     /// plaintext operand is not part of the IR).
     pub fn plain_mult(&mut self, a: Vct) -> Vct {
         self.unary(HeOpKind::PlainMult, a, a.level, a.level)
+    }
+
+    /// Ciphertext × plaintext-constant multiply: replayable, the
+    /// scalar lives in the const table under `cid`
+    /// ([`crate::exec::ReplayKeys::with_mult_const`]). Level is
+    /// preserved; rescale separately like the eager evaluator.
+    pub fn plain_mult_const(&mut self, a: Vct, cid: u32) -> Vct {
+        self.unary(HeOpKind::PlainMultConst { cid }, a, a.level, a.level)
+    }
+
+    /// Ciphertext + plaintext-constant add: replayable, the scalar
+    /// lives in the const table under `cid` and is encoded at the
+    /// operand's actual scale at replay time.
+    pub fn plain_add_const(&mut self, a: Vct, cid: u32) -> Vct {
+        self.unary(HeOpKind::PlainAddConst { cid }, a, a.level, a.level)
     }
 
     /// HE-Rotate by `steps` slots.

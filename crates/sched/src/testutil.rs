@@ -16,10 +16,27 @@
 //! hoisting, and `ModDrop`s (including same-level no-ops) for the
 //! waterline.
 
+use crate::exec::ReplayKeys;
 use crate::ir::{HeOpKind, NodeId, OpGraph};
 use crate::queue::TenantId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The single `PlainMultConst` scalar every generated minimax motif
+/// references (`cid` 0): multiply by ½ at the graph's base scale.
+pub const MOTIF_MULT_VALUE: f64 = 0.5;
+/// The single `PlainAddConst` scalar every generated minimax motif
+/// references (`cid` 0).
+pub const MOTIF_ADD_VALUE: f64 = 0.25;
+
+/// Registers the canonical motif const tables on a [`ReplayKeys`]
+/// builder. `base_scale` must be the [`GraphGenConfig::base_scale`]
+/// the graph was generated with — the motif's tracked scales assume
+/// its `PlainMultConst` plaintext is encoded exactly there.
+pub fn register_motif_consts(keys: ReplayKeys<'_>, base_scale: f64) -> ReplayKeys<'_> {
+    keys.with_mult_const(0, MOTIF_MULT_VALUE, base_scale)
+        .with_add_const(0, MOTIF_ADD_VALUE)
+}
 
 /// Shape of the generated graphs.
 #[derive(Debug, Clone)]
@@ -100,10 +117,36 @@ pub fn random_graph(seed: u64, cfg: &GraphGenConfig) -> OpGraph {
     for _ in 0..cfg.ops {
         let a = rng.gen_range(0..g.len());
         let (la, sa) = meta[a];
-        match rng.gen_range(0u32..10) {
+        match rng.gen_range(0u32..11) {
             // Rotations dominate real workloads; make them dominate
             // here too.
             0..=2 => emit_rotate(&mut g, &mut meta, &mut rng, a),
+            9 => {
+                // Minimax-composition motif (the `ext::sgn` chain
+                // fragment): square, scale-correcting plain-mult,
+                // rescale, plain-add, self-sub. Needs two droppable
+                // limbs plus a live limb of plaintext budget
+                // (`scale · base_scale < Π q / 2` at the plain-mult's
+                // level), else degrade to a rotate.
+                let sm = sa * sa / cfg.moduli[la.saturating_sub(1)];
+                let sp = sm * cfg.base_scale;
+                let sr = sp / cfg.moduli[la.saturating_sub(2)];
+                let budget: f64 = cfg.moduli[..la.saturating_sub(1)].iter().product();
+                if la >= 4 && scale_ok(sm) && scale_ok(sr) && sp < budget / 2.0 {
+                    let m = g.add_op(HeOpKind::Mult, la, 1, &[a, a]);
+                    let p = g.add_op(HeOpKind::PlainMultConst { cid: 0 }, la - 1, 1, &[m]);
+                    let r = g.add_op(HeOpKind::Rescale, la - 1, 1, &[p]);
+                    let q = g.add_op(HeOpKind::PlainAddConst { cid: 0 }, la - 2, 1, &[r]);
+                    g.add_op(HeOpKind::Sub, la - 2, 1, &[q, q]);
+                    meta.push((la - 1, sm));
+                    meta.push((la - 1, sp));
+                    meta.push((la - 2, sr));
+                    meta.push((la - 2, sr));
+                    meta.push((la - 2, sr));
+                } else {
+                    emit_rotate(&mut g, &mut meta, &mut rng, a);
+                }
+            }
             3 => {
                 // Add: fall back to a + a when the drawn partner's
                 // scale is incompatible (always compatible with
@@ -410,5 +453,25 @@ mod tests {
         assert!(rotations > 20, "rotation-heavy by design");
         assert!(moddrops > 0, "waterline fodder present");
         assert!(!rotation_steps(&g).is_empty());
+    }
+
+    #[test]
+    fn generator_emits_minimax_motifs() {
+        let cfg = GraphGenConfig::cost_only(12, 300);
+        let g = random_graph(11, &cfg);
+        let count =
+            |pred: fn(&HeOpKind) -> bool| g.nodes().iter().filter(|n| pred(&n.kind)).count();
+        assert!(
+            count(|k| matches!(k, HeOpKind::PlainMultConst { .. })) > 0,
+            "motif plain-mults present"
+        );
+        assert!(
+            count(|k| matches!(k, HeOpKind::PlainAddConst { .. })) > 0,
+            "motif plain-adds present"
+        );
+        assert!(
+            count(|k| matches!(k, HeOpKind::Sub)) > 0,
+            "motif subs present"
+        );
     }
 }

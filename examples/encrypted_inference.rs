@@ -60,7 +60,7 @@ impl DenseLayer {
                 }
                 let mut out = acc.expect("at least one input feature");
                 let bias_pt = ctx.encode_at(&vec![b; ctx.slot_count()], out.level, out.scale);
-                out = ev.add_plain(&out, &bias_pt);
+                out = ev.add_plain(&out, &bias_pt, out.scale);
                 if self.square_act {
                     out = ev.mult(&out, &out, relin);
                 }

@@ -44,7 +44,7 @@ fn main() {
     let t1_dropped = ev.mod_drop(&t1, t3.level);
     let mut pred = ev.add(&t1_dropped, &t3);
     let half = ctx.encode_at(&vec![0.5; n_samples], pred.level, pred.scale);
-    pred = ev.add_plain(&pred, &half);
+    pred = ev.add_plain(&pred, &half, pred.scale);
 
     // gradient contribution g = (pred − y)·x ; update w ← w − lr·mean(g)
     let y_dropped = ev.mod_drop(&ct_y, pred.level);

@@ -29,7 +29,7 @@ use std::sync::OnceLock;
 use cross::ckks::costs::ExecMode;
 use cross::ckks::params::{CkksParams, ParamSet};
 use cross::ckks::{Ciphertext, CkksContext, Evaluator, KeyPair, SwitchingKey};
-use cross::sched::testutil::{random_graph, rotation_steps, GraphGenConfig};
+use cross::sched::testutil::{random_graph, register_motif_consts, rotation_steps, GraphGenConfig};
 use cross::sched::{
     cost_graph, replay, Cse, HeOpKind, HoistRotations, OpGraph, Pass, PassManager, ReplayKeys,
     Rewrite, RotationDedup, Waterline,
@@ -80,7 +80,9 @@ fn replay_keys(fx: &Fixture) -> ReplayKeys<'_> {
     for (steps, key) in fx.rotation.iter().enumerate() {
         keys = keys.with_rotation(steps, key);
     }
-    keys
+    // The generator's minimax-composition motifs reference the
+    // canonical const table (cid 0 on both kinds).
+    register_motif_consts(keys, fx.cts[0].scale)
 }
 
 /// Config for graphs that replay on the fixture context: real moduli,

@@ -1,0 +1,342 @@
+//! Precision property layer for the encrypted comparison toolkit
+//! (ISSUE 10): per-tier worst-case sign error, monotonicity of
+//! `max`/`relu`, and exact level/scale accounting after each composed
+//! chain.
+//!
+//! Two layers of properties:
+//!
+//! * **Plain reference** (proptest, 256 cases per tier): the composed
+//!   minimax polynomial itself — the exact real function the
+//!   encrypted chain computes — satisfies
+//!   `|sgn(x) − sign(x)| ≤ 2⁻ᵅ` on `2⁻⁵ ≤ |x| ≤ 1`, and the derived
+//!   `max`/`relu` references are monotone up to that bound.
+//! * **Encrypted** (slot-packed, toy ring `N = 2⁹`): one chain per
+//!   tier evaluates *all* `N/2` slots at once over a log-spaced sweep
+//!   of the domain, asserting the same bound plus the scheme's noise
+//!   floor, plus exact level arithmetic (`depth()` levels consumed,
+//!   derived ops two more) and drift-free scales.
+//!
+//! The encrypted noise floor: at these toy parameters the decrypted
+//! message carries ~2⁻¹⁷ of CKKS noise (measured ≈ 5e-6 after the
+//! 20-level High chain), so tiers whose polynomial error is *below*
+//! that — High's 2⁻⁴⁰ — are asserted against `2⁻¹⁵` instead: scheme
+//! noise, not the approximation, is the binding constraint, exactly
+//! as the DESIGN.md §13 tier table states.
+
+use std::sync::OnceLock;
+
+use cross::ckks::ext::sgn::{
+    compare_ref, max_ref, min_ref, relu_ref, sign_ref, SgnTier, SignEvaluator,
+};
+use cross::ckks::{Ciphertext, CkksContext, CkksParams, Evaluator, KeyPair};
+use proptest::prelude::*;
+
+/// Encrypted assertions allow `max(tier bound, 2⁻¹⁵)`: below that the
+/// scheme's own noise dominates any polynomial improvement.
+const NOISE_FLOOR: f64 = 3.0517578125e-5; // 2^-15
+
+fn encrypted_bound(tier: SgnTier) -> f64 {
+    tier.error_bound().max(NOISE_FLOOR)
+}
+
+struct Fixture {
+    ctx: CkksContext,
+    kp: KeyPair,
+}
+
+/// One context per tier, deep enough for the derived combinators.
+fn fixture(tier: SgnTier) -> &'static Fixture {
+    static FX: OnceLock<[Fixture; 3]> = OnceLock::new();
+    let all = FX.get_or_init(|| {
+        let mk = |t: SgnTier| {
+            let ctx = CkksContext::new(
+                CkksParams::new(1 << 9, t.min_derived_level() + 1, 2, 28),
+                0x516E + t.depth() as u64,
+            );
+            let kp = ctx.generate_keys();
+            Fixture { ctx, kp }
+        };
+        [mk(SgnTier::Low), mk(SgnTier::Mid), mk(SgnTier::High)]
+    });
+    match tier {
+        SgnTier::Low => &all[0],
+        SgnTier::Mid => &all[1],
+        SgnTier::High => &all[2],
+    }
+}
+
+/// Log-spaced sweep of the sign domain `2⁻⁵ ≤ |x| ≤ 1`, alternating
+/// signs, one value per slot.
+fn domain_sweep(slots: usize) -> Vec<f64> {
+    (0..slots)
+        .map(|i| {
+            let t = i as f64 / (slots - 1) as f64;
+            let mag = 0.03125_f64.powf(1.0 - t);
+            if i % 2 == 0 {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+fn sign_domain(mag: f64, flip: u64) -> f64 {
+    if flip.is_multiple_of(2) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tier bound, Low — `|sgn(x) − sign(x)| ≤ 2⁻ᵅ` across the domain.
+    #[test]
+    fn prop_low_tier_sign_error_bound(mag in 0.03125f64..1.0, flip in any::<u64>()) {
+        let x = sign_domain(mag, flip);
+        let err = (sign_ref(SgnTier::Low, x) - x.signum()).abs();
+        prop_assert!(err <= SgnTier::Low.error_bound(), "|sgn({x}) − sign| = {err:e}");
+    }
+
+    /// Tier bound, Mid.
+    #[test]
+    fn prop_mid_tier_sign_error_bound(mag in 0.03125f64..1.0, flip in any::<u64>()) {
+        let x = sign_domain(mag, flip);
+        let err = (sign_ref(SgnTier::Mid, x) - x.signum()).abs();
+        prop_assert!(err <= SgnTier::Mid.error_bound(), "|sgn({x}) − sign| = {err:e}");
+    }
+
+    /// Tier bound, High.
+    #[test]
+    fn prop_high_tier_sign_error_bound(mag in 0.03125f64..1.0, flip in any::<u64>()) {
+        let x = sign_domain(mag, flip);
+        let err = (sign_ref(SgnTier::High, x) - x.signum()).abs();
+        prop_assert!(err <= SgnTier::High.error_bound(), "|sgn({x}) − sign| = {err:e}");
+    }
+
+    /// `sgn` never leaves `[−1, 1]` anywhere on `[−1, 1]` — the
+    /// composition is self-concatenable (each step's output is a valid
+    /// input to the next).
+    #[test]
+    fn prop_sign_stays_in_unit_interval(x in -1.0f64..1.0) {
+        for tier in SgnTier::ALL {
+            let y = sign_ref(tier, x);
+            prop_assert!(y.abs() <= 1.0 + 1e-9, "{tier:?}: sgn({x}) = {y}");
+        }
+    }
+
+    /// `max` dominates both arguments and is monotone in each. The
+    /// error scales with `|a − b|/2 · sign_error`: inside the
+    /// guaranteed domain (`|a − b|/2 ≥ 2⁻⁵`) that is the tier bound;
+    /// inside the dead zone the error is at most `|a − b|/2` itself
+    /// (the two values are that close — any blend is acceptable).
+    #[test]
+    fn prop_max_reference_is_monotone_and_dominant(
+        a in -1.0f64..1.0,
+        b in -1.0f64..1.0,
+        bump in 0.03125f64..0.5,
+    ) {
+        for tier in SgnTier::ALL {
+            let d = (a - b).abs() / 2.0;
+            let tol = if d >= 0.03125 {
+                tier.error_bound().max(1e-12)
+            } else {
+                d + 1e-12
+            };
+            let m = max_ref(tier, a, b);
+            prop_assert!(m >= a.max(b) - tol, "{tier:?}: max({a},{b}) = {m}");
+            prop_assert!(m <= a.max(b) + tol, "{tier:?}: max({a},{b}) = {m}");
+            // Monotone: growing one argument never shrinks the max
+            // (dead-zone-wide slack covers pairs that cross it).
+            let m2 = max_ref(tier, (a + bump).min(1.0), b);
+            prop_assert!(m2 >= m - 0.04, "{tier:?}: monotonicity violated at ({a},{b})");
+            // min/max decompose the pair exactly: their sum telescopes.
+            let lo = min_ref(tier, a, b);
+            prop_assert!((m + lo - (a + b)).abs() <= 1e-9);
+        }
+    }
+
+    /// `relu` is monotone non-decreasing and pinned to `max(x, 0)` —
+    /// to the tier bound in the guaranteed domain, to `|x|` inside the
+    /// dead zone (`relu(x) = x·(sgn(x)+1)/2` with `sgn` anywhere in
+    /// `[−1, 1]` there).
+    #[test]
+    fn prop_relu_reference_is_monotone(
+        x in -1.0f64..1.0,
+        bump in 0.03125f64..0.5,
+    ) {
+        for tier in SgnTier::ALL {
+            let tol = if x.abs() >= 0.03125 {
+                tier.error_bound().max(1e-12)
+            } else {
+                x.abs() + 1e-12
+            };
+            let r = relu_ref(tier, x);
+            prop_assert!((r - x.max(0.0)).abs() <= tol, "{tier:?}: relu({x}) = {r}");
+            let r2 = relu_ref(tier, (x + bump).min(1.0));
+            prop_assert!(r2 >= r - 0.04, "{tier:?}: relu not monotone at {x}");
+        }
+    }
+
+    /// `compare` is the shifted sign: in `[0, 1]`, ≈1 when `a > b`,
+    /// ≈0 when `a < b`, symmetric under swap.
+    #[test]
+    fn prop_compare_reference_orders_pairs(
+        a in -1.0f64..1.0,
+        b in -1.0f64..1.0,
+    ) {
+        for tier in SgnTier::ALL {
+            let c = compare_ref(tier, a, b);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c));
+            // Swap symmetry is exact: sgn is odd.
+            let swapped = compare_ref(tier, b, a);
+            prop_assert!((c + swapped - 1.0).abs() <= 1e-9);
+            if (a - b).abs() >= 0.0625 {
+                let want = if a > b { 1.0 } else { 0.0 };
+                let tol = tier.error_bound() / 2.0 + 1e-12;
+                prop_assert!((c - want).abs() <= tol, "{tier:?}: compare({a},{b}) = {c}");
+            }
+        }
+    }
+}
+
+/// Encrypted sign at every tier: slot-packed sweep of the domain, one
+/// chain per tier, asserting the tier bound (plus noise floor) and
+/// exact level/scale accounting.
+#[test]
+fn encrypted_sign_meets_tier_bounds_with_exact_accounting() {
+    for tier in SgnTier::ALL {
+        let fx = fixture(tier);
+        let ev = Evaluator::new(&fx.ctx);
+        let sgn = SignEvaluator::new(&ev, &fx.kp.relin, tier);
+        let msg = domain_sweep(fx.ctx.slot_count());
+        let ct = fx.ctx.encrypt(&msg, &fx.kp.public);
+        let out = sgn.sign(&ct);
+
+        // Exact level accounting: the chain consumes depth() levels,
+        // no more, no less; the scale returns to the input's within
+        // the 1 % CKKS drift tolerance (each step re-targets it).
+        assert_eq!(out.level, ct.level - tier.depth(), "{tier:?}: level");
+        assert!(
+            (out.scale / ct.scale - 1.0).abs() < 1e-2,
+            "{tier:?}: scale drifted: {} vs {}",
+            out.scale,
+            ct.scale
+        );
+
+        let bound = encrypted_bound(tier);
+        let got = fx.ctx.decrypt(&out, &fx.kp.secret);
+        for (i, (g, m)) in got.iter().zip(&msg).enumerate() {
+            let err = (g - m.signum()).abs();
+            assert!(
+                err <= bound,
+                "{tier:?} slot {i}: |sgn({m}) − sign| = {err:e} > {bound:e}"
+            );
+        }
+    }
+}
+
+/// Encrypted derived combinators (Low tier keeps it fast): compare,
+/// max, min, relu and threshold all match their plain references
+/// slot-wise, with exact level accounting (`depth() + 2`).
+#[test]
+fn encrypted_combinators_match_references() {
+    let tier = SgnTier::Low;
+    let fx = fixture(tier);
+    let ev = Evaluator::new(&fx.ctx);
+    let sgn = SignEvaluator::new(&ev, &fx.kp.relin, tier);
+    let n = fx.ctx.slot_count();
+    let a_msg: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * 0.37).sin() * 0.8).clamp(-0.9, 0.9))
+        .collect();
+    let b_msg: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * 0.53 + 1.0).cos() * 0.8).clamp(-0.9, 0.9))
+        .collect();
+    let ca = fx.ctx.encrypt(&a_msg, &fx.kp.public);
+    let cb = fx.ctx.encrypt(&b_msg, &fx.kp.public);
+
+    type RefFn = Box<dyn Fn(f64, f64) -> f64>;
+    let checks: [(&str, Ciphertext, RefFn); 5] = [
+        (
+            "compare",
+            sgn.compare(&ca, &cb),
+            Box::new(move |a, b| compare_ref(tier, a, b)),
+        ),
+        (
+            "max",
+            sgn.max(&ca, &cb),
+            Box::new(move |a, b| max_ref(tier, a, b)),
+        ),
+        (
+            "min",
+            sgn.min(&ca, &cb),
+            Box::new(move |a, b| min_ref(tier, a, b)),
+        ),
+        (
+            "relu",
+            sgn.relu(&ca),
+            Box::new(move |a, _| relu_ref(tier, a)),
+        ),
+        (
+            "threshold",
+            sgn.threshold(&ca, 0.1),
+            Box::new(move |a, _| cross::ckks::ext::sgn::threshold_ref(tier, a, 0.1)),
+        ),
+    ];
+    for (name, ct, reference) in checks {
+        assert_eq!(
+            ct.level,
+            ca.level - tier.depth() - 2,
+            "{name}: level accounting"
+        );
+        let got = fx.ctx.decrypt(&ct, &fx.kp.secret);
+        for i in 0..n {
+            let want = reference(a_msg[i], b_msg[i]);
+            let err = (got[i] - want).abs();
+            assert!(
+                err <= 5e-3,
+                "{name} slot {i}: got {} want {want} (err {err:e})",
+                got[i]
+            );
+        }
+    }
+}
+
+/// Encrypted monotonicity: relu over an increasing ramp stays
+/// non-decreasing (up to noise), and max dominates both inputs.
+#[test]
+fn encrypted_relu_and_max_are_monotone() {
+    let tier = SgnTier::Low;
+    let fx = fixture(tier);
+    let ev = Evaluator::new(&fx.ctx);
+    let sgn = SignEvaluator::new(&ev, &fx.kp.relin, tier);
+    let n = fx.ctx.slot_count();
+    let ramp: Vec<f64> = (0..n)
+        .map(|i| -0.9 + 1.8 * i as f64 / (n - 1) as f64)
+        .collect();
+    let ct = fx.ctx.encrypt(&ramp, &fx.kp.public);
+    let relu = fx.ctx.decrypt(&sgn.relu(&ct), &fx.kp.secret);
+    let slack = encrypted_bound(tier) + 5e-3;
+    for i in 1..n {
+        assert!(
+            relu[i] + slack >= relu[i - 1],
+            "relu ramp decreased at slot {i}: {} then {}",
+            relu[i - 1],
+            relu[i]
+        );
+    }
+
+    let flipped: Vec<f64> = ramp.iter().rev().copied().collect();
+    let cf = fx.ctx.encrypt(&flipped, &fx.kp.public);
+    let mx = fx.ctx.decrypt(&sgn.max(&ct, &cf), &fx.kp.secret);
+    for i in 0..n {
+        let want = ramp[i].max(flipped[i]);
+        assert!(
+            mx[i] + slack >= want && mx[i] - slack <= want,
+            "max at slot {i}: got {} want {want}",
+            mx[i]
+        );
+    }
+}
